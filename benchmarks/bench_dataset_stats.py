@@ -1,0 +1,22 @@
+"""Tables I–II: dataset statistics of the generated benchmark."""
+
+from repro.data.statistics import domain_statistics
+from repro.experiments import run_dataset_statistics
+
+
+def test_tables_1_and_2(benchmark, dataset):
+    text = benchmark.pedantic(
+        run_dataset_statistics, args=(dataset,), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    books = domain_statistics(dataset.targets["Books"])
+    benchmark.extra_info["books_users"] = books.n_users
+    benchmark.extra_info["books_sparsity"] = round(books.sparsity, 4)
+    # Shape checks mirroring the paper's tables: Books is the largest target,
+    # Music the smallest source, and every domain is sparse.
+    assert books.n_users > dataset.targets["CDs"].n_users
+    assert dataset.sources["Music"].n_ratings < dataset.sources["Movies"].n_ratings
+    assert all(
+        domain_statistics(d).sparsity > 0.5
+        for d in (*dataset.sources.values(), *dataset.targets.values())
+    )

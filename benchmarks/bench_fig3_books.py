@@ -1,0 +1,28 @@
+"""Figure 3: NDCG@k versus k on Books, all four scenarios."""
+
+from repro.data.splits import Scenario
+from repro.experiments import run_ndcg_curves
+
+METHODS = ("NeuMF", "MeLU", "CoNN", "TDAR", "MetaDPA")
+
+
+def test_fig3_books_curves(benchmark, dataset):
+    result = benchmark.pedantic(
+        run_ndcg_curves,
+        args=(dataset, "Books"),
+        kwargs=dict(methods=METHODS, ks=(5, 10, 15, 20, 25, 30), seeds=(0,), profile="fast"),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format_table())
+    for scenario in Scenario:
+        for method in METHODS:
+            curve = result.curve(scenario, method)
+            # NDCG@k is non-decreasing in k for every method and scenario.
+            assert all(a <= b + 1e-9 for a, b in zip(curve, curve[1:])), (
+                scenario,
+                method,
+            )
+    benchmark.extra_info["metadpa_cui_ndcg30"] = round(
+        result.curve(Scenario.C_UI, "MetaDPA")[-1], 4
+    )

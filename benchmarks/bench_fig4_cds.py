@@ -1,0 +1,24 @@
+"""Figure 4: NDCG@k versus k on CDs, all four scenarios."""
+
+from repro.data.splits import Scenario
+from repro.experiments import run_ndcg_curves
+
+METHODS = ("NeuMF", "MeLU", "CoNN", "MetaCF", "MetaDPA")
+
+
+def test_fig4_cds_curves(benchmark, dataset):
+    result = benchmark.pedantic(
+        run_ndcg_curves,
+        args=(dataset, "CDs"),
+        kwargs=dict(methods=METHODS, ks=(5, 10, 15, 20, 25, 30), seeds=(0,), profile="fast"),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format_table())
+    for scenario in Scenario:
+        for method in METHODS:
+            curve = result.curve(scenario, method)
+            assert all(a <= b + 1e-9 for a, b in zip(curve, curve[1:]))
+    benchmark.extra_info["metadpa_warm_ndcg10"] = round(
+        result.curve(Scenario.WARM, "MetaDPA")[1], 4
+    )

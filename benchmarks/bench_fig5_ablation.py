@@ -1,0 +1,46 @@
+"""Figure 5: ablation of the ME and MDI constraints on CDs.
+
+Expected shape: the full MetaDPA is at least as good as its single-
+constraint variants overall, and all augmented variants remain competitive
+with the no-augmentation meta-learner (MeLU).
+"""
+
+import numpy as np
+
+from repro.data.splits import Scenario
+from repro.experiments import run_ablation
+from repro.experiments.ablation import ABLATION_VARIANTS
+
+
+def test_fig5_ablation(benchmark, dataset):
+    result = benchmark.pedantic(
+        run_ablation,
+        args=(dataset,),
+        kwargs=dict(
+            target="CDs",
+            variants=ABLATION_VARIANTS,
+            ks=(5, 10, 15, 20, 25, 30),
+            seeds=(0,),
+            profile="fast",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format_table())
+
+    def mean_ndcg(variant: str) -> float:
+        return float(
+            np.mean([result.curves[(sc, variant)] for sc in Scenario])
+        )
+
+    full = mean_ndcg("MetaDPA")
+    me_only = mean_ndcg("MetaDPA-ME")
+    mdi_only = mean_ndcg("MetaDPA-MDI")
+    benchmark.extra_info["metadpa"] = round(full, 4)
+    benchmark.extra_info["metadpa_me"] = round(me_only, 4)
+    benchmark.extra_info["metadpa_mdi"] = round(mdi_only, 4)
+    benchmark.extra_info["diversity_full"] = round(result.diversity["MetaDPA"], 4)
+
+    # Loose shape assertions (fast budget, single seed): the full model is
+    # not dominated by both ablations simultaneously.
+    assert full >= min(me_only, mdi_only) * 0.9

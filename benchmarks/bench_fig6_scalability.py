@@ -1,0 +1,30 @@
+"""Figure 6: per-block training time versus data size.
+
+Expected shape: block 1 (Dual-CVAE epoch) grows with data size; blocks 2
+(generation pass) and 3 (one meta-step over a fixed task batch) stay flat.
+"""
+
+import numpy as np
+
+from repro.experiments import run_scalability
+
+
+def test_fig6_scalability(benchmark):
+    result = benchmark.pedantic(
+        run_scalability,
+        kwargs=dict(fractions=(0.2, 0.4, 0.6, 0.8, 1.0)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format_table())
+    slope1, r2_1 = result.linear_fit(result.block1_seconds)
+    benchmark.extra_info["block1_slope"] = round(slope1, 5)
+    benchmark.extra_info["block1_r2"] = round(r2_1, 3)
+
+    # Block 1 cost grows with data size.
+    assert result.block1_seconds[-1] > result.block1_seconds[0]
+    # Blocks 2-3 stay within a constant band (no growth proportional to data).
+    b2 = np.asarray(result.block2_seconds)
+    b3 = np.asarray(result.block3_seconds)
+    assert b2.max() < 10 * max(b2.min(), 1e-4)
+    assert b3.max() < 10 * max(b3.min(), 1e-3)

@@ -1,0 +1,19 @@
+"""Figure 7: sensitivity of MetaDPA to the MDI weight β1 on CDs."""
+
+from repro.experiments import run_hyperparam_sweep
+
+
+def test_fig7_beta1_sweep(benchmark, dataset):
+    result = benchmark.pedantic(
+        run_hyperparam_sweep,
+        args=(dataset, "beta1"),
+        kwargs=dict(target="CDs", grid=(1e-2, 1e-1, 1.0, 1e1), seeds=(0,), profile="fast"),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format_table())
+    for scenario, curve in result.curves.items():
+        assert all(v >= 0.0 for v in curve)
+        benchmark.extra_info[f"spread_{scenario.name}"] = round(
+            result.sensitivity_range(scenario), 4
+        )

@@ -1,0 +1,26 @@
+"""Section V-D: Wilcoxon signed-rank significance over repeated splits."""
+
+from repro.experiments import run_significance
+
+
+def test_significance_metadpa_vs_baselines(benchmark, dataset):
+    report = benchmark.pedantic(
+        run_significance,
+        args=(dataset,),
+        kwargs=dict(
+            target="CDs",
+            methods=("MeLU", "CoNN", "MetaDPA"),
+            seeds=(0, 1, 2, 3, 4),
+            profile="fast",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + report.format_table())
+    n_sig = sum(res.significant for _, res in report.results.values())
+    n_positive = sum(
+        res.median_difference > 0 for _, res in report.results.values()
+    )
+    benchmark.extra_info["significant_cells"] = n_sig
+    benchmark.extra_info["positive_median_cells"] = n_positive
+    assert len(report.results) == 16  # 4 scenarios x 4 metrics

@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+("fast") budget so the whole suite completes in minutes on a laptop.  Pass
+``-s`` to see the regenerated tables; headline numbers are also attached to
+each benchmark's ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.amazon import BenchmarkScale, make_amazon_like_benchmark
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The five-domain benchmark at a size suitable for benchmarking."""
+    return make_amazon_like_benchmark(
+        scale=BenchmarkScale(user_base=160, item_base=110), seed=0
+    )

@@ -1,0 +1,43 @@
+"""Compare MetaDPA against representative baselines on every scenario.
+
+Reproduces a slice of Table III on the Books target: one method per family
+(CF: NeuMF, content: CoNN, meta-learning: MeLU, ours: MetaDPA), evaluated
+on identical leave-one-out candidate lists.
+
+Usage:  python examples/cold_start_comparison.py
+"""
+
+from repro.baselines import CoNN, MeLU, NeuMF
+from repro.data import make_amazon_like_benchmark, prepare_experiment
+from repro.eval.protocol import evaluate_prepared, format_results_table
+from repro.meta import MetaDPA, MetaDPAConfig
+
+
+def main() -> None:
+    dataset = make_amazon_like_benchmark(seed=0)
+    experiment = prepare_experiment(dataset, "Books", seed=0)
+
+    methods = [
+        NeuMF(epochs=15, seed=0),
+        CoNN(epochs=10, seed=0),
+        MeLU(meta_epochs=15, seed=0),
+        MetaDPA(MetaDPAConfig(cvae_epochs=150, meta_epochs=15), seed=0),
+    ]
+    results = {}
+    for method in methods:
+        print(f"Fitting {method.name} ...")
+        results[method.name] = evaluate_prepared(method, experiment)
+
+    print()
+    print(format_results_table(results))
+    print(
+        "Things to look for (the paper's qualitative claims):\n"
+        " - NeuMF collapses toward chance on the cold-start scenarios\n"
+        "   (its ID embeddings for new users/items were never trained);\n"
+        " - MeLU does well warm but trails where augmentation matters;\n"
+        " - MetaDPA is strongest overall, especially on user&item cold-start."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Build a custom multi-domain benchmark with the generator API.
+
+Shows how a downstream user would model their own domain layout — here a
+streaming service transferring preferences from Podcasts and Audiobooks to
+a new Radio-Drama vertical — and run MetaDPA on it.
+
+Usage:  python examples/custom_domains.py
+"""
+
+from repro.data import (
+    DomainSpec,
+    GeneratorConfig,
+    SyntheticMultiDomainGenerator,
+    prepare_experiment,
+)
+from repro.data.statistics import format_table_1, format_table_2
+from repro.eval.protocol import evaluate_prepared, format_results_table
+from repro.meta import MetaDPA, MetaDPAConfig
+
+
+def main() -> None:
+    config = GeneratorConfig(
+        latent_dim=8,
+        vocab_size=250,
+        n_topics=8,
+        w_specific=0.8,  # strongly domain-specific tastes
+    )
+    generator = SyntheticMultiDomainGenerator(config, seed=13)
+    dataset = generator.generate(
+        sources=[
+            DomainSpec(name="Podcasts", n_users=160, n_items=120, shared_user_frac=0.6),
+            DomainSpec(name="Audiobooks", n_users=120, n_items=100, shared_user_frac=0.4),
+        ],
+        targets=[
+            DomainSpec(
+                name="RadioDrama",
+                n_users=180,
+                n_items=110,
+                mean_interactions=12.0,
+                cold_user_frac=0.35,
+                is_target=True,
+            )
+        ],
+    )
+    print(format_table_1(dataset))
+    print()
+    print(format_table_2(dataset))
+
+    experiment = prepare_experiment(dataset, "RadioDrama", seed=0)
+    method = MetaDPA(MetaDPAConfig(cvae_epochs=150, meta_epochs=12), seed=0)
+    results = evaluate_prepared(method, experiment)
+    print()
+    print(format_results_table({"MetaDPA": results}))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: train MetaDPA on the Amazon-like benchmark and evaluate it.
+
+Runs the full pipeline end to end on the CDs target domain at a small
+budget (about a minute on a laptop):
+
+1. generate the five-domain synthetic benchmark,
+2. prepare a leak-free evaluation split,
+3. fit MetaDPA (domain adaptation -> diverse augmentation -> meta-learning),
+4. report HR@10 / MRR@10 / NDCG@10 / AUC on all four scenarios.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro.data import make_amazon_like_benchmark, prepare_experiment
+from repro.eval.protocol import evaluate_prepared, format_results_table
+from repro.meta import MetaDPA, MetaDPAConfig
+
+
+def main() -> None:
+    print("Generating the Amazon-like multi-domain benchmark ...")
+    dataset = make_amazon_like_benchmark(seed=0)
+    for line in (
+        f"  sources: {dataset.source_names()}",
+        f"  targets: {dataset.target_names()}",
+    ):
+        print(line)
+
+    print("\nPreparing the evaluation split on CDs ...")
+    experiment = prepare_experiment(dataset, "CDs", seed=0)
+    print(
+        f"  existing/new users: {experiment.splits.existing_users.size}"
+        f"/{experiment.splits.new_users.size}, "
+        f"existing/new items: {experiment.splits.existing_items.size}"
+        f"/{experiment.splits.new_items.size}"
+    )
+
+    print("\nTraining MetaDPA (reduced budget for the quickstart) ...")
+    config = MetaDPAConfig(cvae_epochs=150, meta_epochs=12)
+    method = MetaDPA(config, seed=0)
+    results = evaluate_prepared(method, experiment)
+
+    print("\nGenerated augmentations:", method.augmented.k, "rating matrices")
+    print(format_results_table({"MetaDPA": results}))
+
+
+if __name__ == "__main__":
+    main()

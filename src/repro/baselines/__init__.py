@@ -1,0 +1,47 @@
+"""Baseline recommenders evaluated in Table III.
+
+Every baseline implements :class:`repro.core.Recommender` on the same
+numpy substrate as MetaDPA:
+
+- :class:`Popularity` — degree-count sanity baseline (not in the paper).
+- :class:`NeuMF` — neural collaborative filtering with ID embeddings; its
+  embeddings for unseen users/items are untrained, which is why it sits at
+  chance level in cold-start rows of Table III.
+- :class:`MeLU` — MAML over the content preference model with MeLU's
+  decision-layer-only local update; no augmentation.
+- :class:`MetaCF` — meta-learning CF with an inductive user representation
+  (mean of rated item embeddings) and potential-interaction extension.
+- :class:`CoNN` — two parallel content networks with a shared top layer.
+- :class:`DAML` — content networks with mutual attention between the user
+  and item representations.
+- :class:`TDAR` — text-feature matching trained with source-domain data and
+  batch-level domain alignment.
+- :class:`CATN` — aspect extraction with a cross-aspect matching matrix,
+  trained with source-domain auxiliary data.
+
+Each class's docstring records how the simplified implementation relates to
+the published method.
+"""
+
+from repro.baselines.popularity import Popularity
+from repro.baselines.neumf import NeuMF
+from repro.baselines.melu import MeLU
+from repro.baselines.metacf import MetaCF
+from repro.baselines.conn import CoNN
+from repro.baselines.daml import DAML
+from repro.baselines.tdar import TDAR
+from repro.baselines.catn import CATN
+
+ALL_BASELINES = (NeuMF, MeLU, MetaCF, CoNN, DAML, TDAR, CATN)
+
+__all__ = [
+    "Popularity",
+    "NeuMF",
+    "MeLU",
+    "MetaCF",
+    "CoNN",
+    "DAML",
+    "TDAR",
+    "CATN",
+    "ALL_BASELINES",
+]

@@ -1,0 +1,37 @@
+"""Popularity baseline: rank items by their warm-block interaction count.
+
+Not part of the paper's baseline set; it anchors the evaluation (any learned
+method should beat it on warm-start, and it is immune to user cold-start
+since it ignores the user entirely).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interface import FitContext, Recommender
+from repro.data.negative_sampling import EvalInstance
+from repro.data.tasks import PreferenceTask
+
+
+class Popularity(Recommender):
+    """Score every item by its interaction count among existing users."""
+
+    name = "Popularity"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._scores: np.ndarray | None = None
+
+    def fit(self, ctx: FitContext) -> "Popularity":
+        # Only training-visible interactions count; new items correctly get
+        # zero popularity (their ratings are hidden until evaluation).
+        self._scores = ctx.visible_ratings.sum(axis=0)
+        return self
+
+    def score(
+        self, task: PreferenceTask | None, instance: EvalInstance
+    ) -> np.ndarray:
+        if self._scores is None:
+            raise RuntimeError("fit() must be called before score()")
+        return self._scores[instance.candidates]

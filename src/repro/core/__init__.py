@@ -1,0 +1,12 @@
+"""Core abstractions: the recommender interface every method implements.
+
+The paper's primary contribution, MetaDPA, lives in :mod:`repro.meta`
+(preference meta-learning) and :mod:`repro.cvae` (multi-source domain
+adaptation + diverse preference augmentation); this package defines the
+shared contract that MetaDPA and all baselines implement so the evaluation
+protocol and every benchmark can treat them uniformly.
+"""
+
+from repro.core.interface import FitContext, Recommender
+
+__all__ = ["FitContext", "Recommender"]

@@ -1,0 +1,108 @@
+"""The recommender contract shared by MetaDPA and every baseline.
+
+A method is fitted once per target domain on the *warm* block (existing
+users × existing items) — multi-domain methods may additionally read the
+source domains from the dataset — and is then asked to score leave-one-out
+candidate lists.  For cold-start scenarios the method receives the
+evaluation task's support set so that meta-learners can fine-tune; methods
+that cannot exploit the support set simply ignore it (that inability is
+part of what Table III measures).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.domain import Domain, MultiDomainDataset
+from repro.data.negative_sampling import EvalInstance
+from repro.data.splits import ColdStartSplits
+from repro.data.tasks import PreferenceTask, TaskSet
+
+
+@dataclass
+class FitContext:
+    """Everything a method may use at training time.
+
+    Attributes
+    ----------
+    dataset:
+        the full multi-domain benchmark (sources + targets).  Single-domain
+        methods only read ``dataset.targets[target_name]``.
+    target_name:
+        which target domain is being evaluated.
+    splits:
+        the existing/new user and item partition of the target domain.
+    warm_tasks:
+        meta-training tasks built from the warm block (Ue × Ie); their
+        support/query structure doubles as the train/validation split for
+        non-meta methods.
+    seed:
+        per-run seed; every method must be deterministic given it.
+    train_ratings:
+        the binary matrix of interactions *visible at training time* — the
+        warm tasks' support positives.  Methods that count interactions
+        directly (popularity, item co-occurrence) must use this, never
+        ``domain.ratings``, or they would see held-out evaluation positives.
+    """
+
+    dataset: MultiDomainDataset
+    target_name: str
+    splits: ColdStartSplits
+    warm_tasks: TaskSet
+    seed: int = 0
+    train_ratings: np.ndarray | None = None
+
+    @property
+    def domain(self) -> Domain:
+        return self.dataset.targets[self.target_name]
+
+    @property
+    def visible_ratings(self) -> np.ndarray:
+        """Training-visible interaction matrix (see ``train_ratings``)."""
+        if self.train_ratings is None:
+            self.train_ratings = training_visibility(
+                self.domain.n_users, self.domain.n_items, self.warm_tasks
+            )
+        return self.train_ratings
+
+
+def training_visibility(n_users: int, n_items: int, warm_tasks: TaskSet) -> np.ndarray:
+    """Binary matrix of warm-task support positives (the training set)."""
+    visible = np.zeros((n_users, n_items))
+    for task in warm_tasks:
+        positives = task.support_items[task.support_labels > 0.5]
+        visible[task.user_row, positives] = 1.0
+    return visible
+
+
+class Recommender(abc.ABC):
+    """Abstract cold-start recommender."""
+
+    #: short display name used in result tables (e.g. "MetaDPA", "NeuMF").
+    name: str = "recommender"
+
+    @abc.abstractmethod
+    def fit(self, ctx: FitContext) -> "Recommender":
+        """Train on the warm block (and any source domains); returns self."""
+
+    @abc.abstractmethod
+    def score(
+        self, task: PreferenceTask | None, instance: EvalInstance
+    ) -> np.ndarray:
+        """Score ``instance.candidates`` (positive first, then negatives).
+
+        ``task`` carries the evaluated user's support set for fine-tuning;
+        it is ``None`` only when a caller explicitly evaluates without
+        adaptation.  Higher scores mean stronger recommendation.
+        """
+
+    def score_batch(
+        self, tasks: list[PreferenceTask | None], instances: list[EvalInstance]
+    ) -> list[np.ndarray]:
+        """Score many instances; override for methods with batch speedups."""
+        if len(tasks) != len(instances):
+            raise ValueError("tasks and instances must align")
+        return [self.score(t, i) for t, i in zip(tasks, instances)]

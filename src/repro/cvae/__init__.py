@@ -1,0 +1,37 @@
+"""Multi-source domain adaptation with Dual Conditional VAEs (paper Sec. IV-A/B).
+
+One :class:`~repro.cvae.model.DualCVAE` is trained per (source, target)
+domain pair on their shared users.  Its loss (Eq. 8) combines
+
+- ``ELBO``: BCE reconstruction of each domain's ratings from its own latent
+  code conditioned on content, plus the content-conditioned KL of Eq. (3),
+- ``MSE``: alignment of the sampled latent code with the content encoder's
+  output (Eq. 4) so ratings can later be generated from content alone,
+- ``Rec``: cross-domain reconstruction (decode each domain's ratings from
+  the *other* domain's latent code, Eq. 5),
+- ``MDI`` (weight β1): InfoNCE between the two domains' latent codes, and
+- ``ME`` (weight β2): InfoNCE between the two decoders' outputs (through
+  linear critic projections, since the domains have different item counts).
+
+After training, :mod:`repro.cvae.augment` runs the content-encoder →
+target-decoder path of each of the k Dual-CVAEs on every target-domain user
+to produce k diverse rating vectors (Sec. IV-B).
+"""
+
+from repro.cvae.model import CVAEConfig, DualCVAE
+from repro.cvae.trainer import DualCVAETrainer, TrainerConfig
+from repro.cvae.augment import AugmentedRatings, DiversePreferenceAugmenter, rating_diversity
+from repro.cvae.diagnostics import AugmentationReport, diagnose_augmentation, generation_auc
+
+__all__ = [
+    "CVAEConfig",
+    "DualCVAE",
+    "DualCVAETrainer",
+    "TrainerConfig",
+    "AugmentedRatings",
+    "DiversePreferenceAugmenter",
+    "rating_diversity",
+    "AugmentationReport",
+    "diagnose_augmentation",
+    "generation_auc",
+]

@@ -1,0 +1,364 @@
+"""The Dual Conditional VAE (Fig. 1 of the paper).
+
+Architecture per domain ``d ∈ {source, target}``:
+
+- rating encoder ``E_d``: MLP on ``[r_d ; x_d]`` producing ``(mu_d, log_var_d)``,
+- content encoder ``E^x_d``: MLP on ``x_d`` producing the dense code ``z^x_d``,
+- decoder ``D_d``: MLP on ``[z ; x_d]`` producing reconstructed ratings in
+  ``[0, 1]`` (sigmoid output — see note below),
+- a linear critic projection ``P_d`` mapping the decoder output to the latent
+  dimension, used only inside the ME InfoNCE term (the two domains have
+  different item counts, so their outputs cannot be dotted directly).
+
+Output-activation note: the paper states softmax on the decoder output; a
+softmax over the item axis produces a distribution (Mult-VAE style) whose
+entries are ~1/m and which cannot represent independent per-item
+probabilities — unusable as soft labels for the downstream BCE meta-learner.
+We default to sigmoid (independent per-item probabilities in [0, 1], exactly
+the range the paper requires for augmented ratings) and keep softmax as an
+option for ablation.
+
+All gradients are derived by hand on top of :mod:`repro.nn`; the test suite
+checks them against numerical differentiation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.nn.losses import binary_cross_entropy, gaussian_kl_to_code, info_nce
+from repro.nn.module import Grads, Module, Params, mlp
+from repro.nn.optim import add_grads
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class CVAEConfig:
+    """Hyper-parameters of one Dual-CVAE.
+
+    ``beta1`` weighs the MDI constraint, ``beta2`` the ME constraint —
+    matching Eq. (8).  The paper's grid search selects β1 = 0.1, β2 = 1.
+    """
+
+    n_items_source: int
+    n_items_target: int
+    content_dim: int
+    latent_dim: int = 16
+    hidden_dim: int = 64
+    beta1: float = 0.1
+    beta2: float = 1.0
+    infonce_temperature: float = 0.1
+    out_activation: str = "sigmoid"
+
+    def __post_init__(self) -> None:
+        if min(self.n_items_source, self.n_items_target, self.content_dim) <= 0:
+            raise ValueError("dimensions must be positive")
+        if self.latent_dim <= 0 or self.hidden_dim <= 0:
+            raise ValueError("latent/hidden dims must be positive")
+        if self.beta1 < 0 or self.beta2 < 0:
+            raise ValueError("constraint weights must be non-negative")
+        if self.out_activation not in ("sigmoid", "softmax"):
+            raise ValueError("out_activation must be 'sigmoid' or 'softmax'")
+
+
+@dataclass
+class _Branch:
+    """The three networks of one domain branch."""
+
+    encoder: Module
+    content_encoder: Module
+    decoder: Module
+    critic: Module
+
+
+class DualCVAE:
+    """A Dual-CVAE over one (source, target) domain pair.
+
+    Parameters are stored flat in :attr:`params` with component prefixes
+    (``enc_s.``, ``enc_x_s.``, ``dec_s.``, ``crit_s.`` and the ``_t``
+    counterparts), so a single optimizer drives the whole model.
+    """
+
+    def __init__(self, config: CVAEConfig, rng: int | np.random.Generator | None = 0):
+        self.config = config
+        gen = ensure_rng(rng)
+        c, latent, hidden = config.content_dim, config.latent_dim, config.hidden_dim
+        out_act = config.out_activation
+
+        def branch(n_items: int) -> _Branch:
+            return _Branch(
+                encoder=mlp([n_items + c, hidden, 2 * latent], activation="tanh"),
+                content_encoder=mlp([c, hidden, latent], activation="tanh"),
+                decoder=mlp([latent + c, hidden, n_items],
+                            activation="tanh", out_activation=out_act),
+                critic=mlp([n_items, latent]),
+            )
+
+        self._branches = {
+            "s": branch(config.n_items_source),
+            "t": branch(config.n_items_target),
+        }
+        self.params: Params = {}
+        for side, br in self._branches.items():
+            for prefix, module in self._components(side, br):
+                for name, value in module.init_params(gen).items():
+                    self.params[f"{prefix}.{name}"] = value
+
+    @staticmethod
+    def _components(side: str, br: _Branch) -> list[tuple[str, Module]]:
+        return [
+            (f"enc_{side}", br.encoder),
+            (f"enc_x_{side}", br.content_encoder),
+            (f"dec_{side}", br.decoder),
+            (f"crit_{side}", br.critic),
+        ]
+
+    # ------------------------------------------------------------------
+    # parameter plumbing
+    # ------------------------------------------------------------------
+    def _sub(self, prefix: str, params: Params | None = None) -> Params:
+        src = self.params if params is None else params
+        dot = prefix + "."
+        return {k[len(dot):]: v for k, v in src.items() if k.startswith(dot)}
+
+    @staticmethod
+    def _merge(total: Grads, prefix: str, grads: Grads) -> None:
+        add_grads(total, {f"{prefix}.{k}": v for k, v in grads.items()})
+
+    # ------------------------------------------------------------------
+    # forward pieces
+    # ------------------------------------------------------------------
+    def encode(
+        self, side: str, ratings: np.ndarray, content: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, Any]:
+        """Rating encoder: returns ``(mu, log_var, cache)``."""
+        br = self._branches[side]
+        x = np.concatenate([ratings, content], axis=1)
+        out, cache = br.encoder.forward(self._sub(f"enc_{side}"), x)
+        latent = self.config.latent_dim
+        return out[:, :latent], out[:, latent:], cache
+
+    def encode_content(self, side: str, content: np.ndarray) -> np.ndarray:
+        """Content encoder output ``z^x`` (no cache; inference only)."""
+        br = self._branches[side]
+        return br.content_encoder(self._sub(f"enc_x_{side}"), content)
+
+    def decode(self, side: str, z: np.ndarray, content: np.ndarray) -> np.ndarray:
+        """Decoder output (inference only)."""
+        br = self._branches[side]
+        x = np.concatenate([z, content], axis=1)
+        return br.decoder(self._sub(f"dec_{side}"), x)
+
+    def generate_from_content(self, content: np.ndarray) -> np.ndarray:
+        """The augmentation path (red line in Fig. 1): content → E^x_t → D_t.
+
+        Returns a rating vector in [0, 1] for every row of ``content``.
+        This is the only inference path used by diverse preference
+        augmentation; it needs no ratings at all, which is what makes the
+        augmentation applicable to *every* target-domain user.
+        """
+        z = self.encode_content("t", content)
+        return self.decode("t", z, content)
+
+    # ------------------------------------------------------------------
+    # training: loss and gradients for one batch of shared users
+    # ------------------------------------------------------------------
+    def loss_and_grads(
+        self,
+        ratings_source: np.ndarray,
+        ratings_target: np.ndarray,
+        content_source: np.ndarray,
+        content_target: np.ndarray,
+        rng: int | np.random.Generator | None = None,
+    ) -> tuple[dict[str, float], Grads]:
+        """Compute all five loss terms of Eq. (8) and their gradients.
+
+        Returns ``(losses, grads)`` where ``losses`` holds each named term
+        plus ``"total"`` and ``grads`` matches :attr:`params`.
+        """
+        gen = ensure_rng(rng)
+        cfg = self.config
+        grads: Grads = {}
+
+        sides = {
+            "s": (ratings_source, content_source),
+            "t": (ratings_target, content_target),
+        }
+        state: dict[str, dict[str, Any]] = {}
+
+        # ---- forward: encoders, reparameterization, content encoders ----
+        for side, (ratings, content) in sides.items():
+            br = self._branches[side]
+            mu, log_var_raw, enc_cache = self.encode(side, ratings, content)
+            log_var = np.clip(log_var_raw, -8.0, 8.0)
+            clip_mask = np.abs(log_var_raw) < 8.0
+            eps = gen.normal(size=mu.shape)
+            sigma = np.exp(0.5 * log_var)
+            z = mu + sigma * eps
+            zx, zx_cache = br.content_encoder.forward(
+                self._sub(f"enc_x_{side}"), content
+            )
+            state[side] = {
+                "ratings": ratings,
+                "content": content,
+                "mu": mu,
+                "log_var": log_var,
+                "clip_mask": clip_mask,
+                "eps": eps,
+                "sigma": sigma,
+                "z": z,
+                "zx": zx,
+                "enc_cache": enc_cache,
+                "zx_cache": zx_cache,
+                # gradient accumulators
+                "d_mu": np.zeros_like(mu),
+                "d_log_var": np.zeros_like(log_var),
+                "d_z": np.zeros_like(z),
+                "d_zx": np.zeros_like(zx),
+            }
+
+        # ---- decoders: self reconstruction and cross reconstruction ----
+        # self: D_s(z_s, x_s) vs r_s ;  cross: D_s(z_t, x_s) vs r_s
+        recon: dict[tuple[str, str], dict[str, Any]] = {}
+        for dec_side in ("s", "t"):
+            for z_side in ("s", "t"):
+                br = self._branches[dec_side]
+                x_in = np.concatenate(
+                    [state[z_side]["z"], state[dec_side]["content"]], axis=1
+                )
+                out, cache = br.decoder.forward(self._sub(f"dec_{dec_side}"), x_in)
+                recon[(dec_side, z_side)] = {
+                    "out": out,
+                    "cache": cache,
+                    "d_out": np.zeros_like(out),
+                }
+
+        losses: dict[str, float] = {}
+
+        # ---- ELBO reconstruction (self paths) ----
+        elbo_rec = 0.0
+        for side in ("s", "t"):
+            r = recon[(side, side)]
+            loss, d_out = binary_cross_entropy(r["out"], state[side]["ratings"])
+            elbo_rec += loss
+            r["d_out"] += d_out
+        losses["elbo_recon"] = elbo_rec
+
+        # ---- content-conditioned KL (Eq. 3) ----
+        kl_total = 0.0
+        for side in ("s", "t"):
+            st = state[side]
+            kl, d_mu, d_log_var, d_code = gaussian_kl_to_code(
+                st["mu"], st["log_var"], st["zx"]
+            )
+            kl_total += kl
+            st["d_mu"] += d_mu
+            st["d_log_var"] += d_log_var
+            st["d_zx"] += d_code
+        losses["kl"] = kl_total
+
+        # ---- latent/content alignment MSE (Eq. 4) ----
+        mse_total = 0.0
+        for side in ("s", "t"):
+            st = state[side]
+            diff = st["z"] - st["zx"]
+            n = diff.size
+            mse_total += float((diff * diff).sum() / n)
+            st["d_z"] += 2.0 * diff / n
+            st["d_zx"] += -2.0 * diff / n
+        losses["mse"] = mse_total
+
+        # ---- cross-domain reconstruction (Eq. 5) ----
+        rec_total = 0.0
+        for dec_side, z_side in (("s", "t"), ("t", "s")):
+            r = recon[(dec_side, z_side)]
+            loss, d_out = binary_cross_entropy(r["out"], state[dec_side]["ratings"])
+            rec_total += loss
+            r["d_out"] += d_out
+        losses["cross_recon"] = rec_total
+
+        # ---- MDI: InfoNCE on latent codes (Eq. 6) ----
+        if cfg.beta1 > 0:
+            mdi, d_zs, d_zt = info_nce(
+                state["s"]["z"], state["t"]["z"], temperature=cfg.infonce_temperature
+            )
+            losses["mdi"] = mdi
+            state["s"]["d_z"] += cfg.beta1 * d_zs
+            state["t"]["d_z"] += cfg.beta1 * d_zt
+        else:
+            losses["mdi"] = 0.0
+
+        # ---- ME: InfoNCE on decoder outputs through critics (Eq. 7) ----
+        if cfg.beta2 > 0:
+            crit_caches = {}
+            proj = {}
+            for side in ("s", "t"):
+                br = self._branches[side]
+                p, cache = br.critic.forward(
+                    self._sub(f"crit_{side}"), recon[(side, side)]["out"]
+                )
+                proj[side] = p
+                crit_caches[side] = cache
+            me, d_ps, d_pt = info_nce(
+                proj["s"], proj["t"], temperature=cfg.infonce_temperature
+            )
+            losses["me"] = me
+            for side, d_p in (("s", d_ps), ("t", d_pt)):
+                br = self._branches[side]
+                d_out, crit_grads = br.critic.backward(
+                    self._sub(f"crit_{side}"), crit_caches[side], cfg.beta2 * d_p
+                )
+                self._merge(grads, f"crit_{side}", crit_grads)
+                recon[(side, side)]["d_out"] += d_out
+        else:
+            losses["me"] = 0.0
+
+        losses["total"] = (
+            losses["elbo_recon"]
+            + losses["kl"]
+            + losses["mse"]
+            + losses["cross_recon"]
+            + cfg.beta1 * losses["mdi"]
+            + cfg.beta2 * losses["me"]
+        )
+
+        # ---- backward: decoders → latent codes ----
+        latent = cfg.latent_dim
+        for (dec_side, z_side), r in recon.items():
+            if not np.any(r["d_out"]):
+                continue
+            br = self._branches[dec_side]
+            d_in, dec_grads = br.decoder.backward(
+                self._sub(f"dec_{dec_side}"), r["cache"], r["d_out"]
+            )
+            self._merge(grads, f"dec_{dec_side}", dec_grads)
+            state[z_side]["d_z"] += d_in[:, :latent]
+
+        # ---- backward: reparameterization → encoders; content encoders ----
+        for side in ("s", "t"):
+            st = state[side]
+            br = self._branches[side]
+            # z = mu + exp(0.5*log_var) * eps
+            d_mu = st["d_mu"] + st["d_z"]
+            d_log_var = st["d_log_var"] + st["d_z"] * 0.5 * st["sigma"] * st["eps"]
+            # The clip on log_var zeroes the gradient where it saturated.
+            d_log_var = d_log_var * st["clip_mask"]
+            d_enc_out = np.concatenate([d_mu, d_log_var], axis=1)
+            _, enc_grads = br.encoder.backward(
+                self._sub(f"enc_{side}"), st["enc_cache"], d_enc_out
+            )
+            self._merge(grads, f"enc_{side}", enc_grads)
+
+            _, zx_grads = br.content_encoder.backward(
+                self._sub(f"enc_x_{side}"), st["zx_cache"], st["d_zx"]
+            )
+            self._merge(grads, f"enc_x_{side}", zx_grads)
+
+        # Ensure every parameter has a gradient entry (zero where unused).
+        for name, value in self.params.items():
+            if name not in grads:
+                grads[name] = np.zeros_like(value)
+        return losses, grads

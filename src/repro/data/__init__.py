@@ -1,0 +1,50 @@
+"""Data substrate: synthetic Amazon-like multi-domain recommendation data.
+
+The paper evaluates on five Amazon review categories (Electronics, Movies and
+Music as sources; Books and CDs as targets).  Those corpora are not available
+offline, so this package generates synthetic data with the same *structural*
+properties the method depends on:
+
+- sparse implicit feedback driven by a latent-factor ground-truth preference
+  model with **domain-shared** and **domain-specific** user factors,
+- a configurable fraction of users shared between each source domain and the
+  target domain,
+- review text drawn from a topic model so that user/item bag-of-words content
+  is *correlated with but not identical to* preference (the content/preference
+  gap the paper discusses), and
+- cold users and cold items (few interactions) for the C-U / C-I / C-UI
+  scenarios.
+"""
+
+from repro.data.domain import Domain, DomainPair, MultiDomainDataset
+from repro.data.generator import DomainSpec, GeneratorConfig, SyntheticMultiDomainGenerator
+from repro.data.amazon import AMAZON_SOURCE_NAMES, AMAZON_TARGET_NAMES, make_amazon_like_benchmark
+from repro.data.splits import ColdStartSplits, Scenario, make_cold_start_splits
+from repro.data.tasks import PreferenceTask, TaskSet, build_task_set
+from repro.data.negative_sampling import EvalInstance, build_eval_instances
+from repro.data.experiment import Experiment, prepare_experiment
+from repro.data.statistics import domain_statistics, pair_statistics
+
+__all__ = [
+    "Domain",
+    "DomainPair",
+    "MultiDomainDataset",
+    "DomainSpec",
+    "GeneratorConfig",
+    "SyntheticMultiDomainGenerator",
+    "AMAZON_SOURCE_NAMES",
+    "AMAZON_TARGET_NAMES",
+    "make_amazon_like_benchmark",
+    "Scenario",
+    "ColdStartSplits",
+    "make_cold_start_splits",
+    "PreferenceTask",
+    "TaskSet",
+    "build_task_set",
+    "EvalInstance",
+    "build_eval_instances",
+    "Experiment",
+    "prepare_experiment",
+    "domain_statistics",
+    "pair_statistics",
+]

@@ -1,0 +1,229 @@
+"""Containers for single-domain and multi-domain recommendation data.
+
+Scale note: the paper's Amazon subsets have up to ~600k users; this
+reproduction works at simulator scale (hundreds of users/items per domain),
+so dense rating matrices are the simplest correct representation.  All code
+paths (CVAE reconstruction, meta-task construction, ranking evaluation)
+operate on these matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.vocab import Vocabulary
+
+
+@dataclass
+class Domain:
+    """One recommendation domain (e.g. "Books").
+
+    Attributes
+    ----------
+    name:
+        domain name.
+    ratings:
+        ``(n_users, n_items)`` implicit-feedback matrix in {0, 1}.
+    user_content:
+        ``(n_users, vocab_size)`` bag-of-words built from the reviews each
+        user wrote (L1-normalized term frequencies).
+    item_content:
+        ``(n_items, vocab_size)`` bag-of-words from reviews each item
+        received.
+    user_ids:
+        global user identifiers, used to align shared users across domains.
+    true_affinity:
+        optional ground-truth interaction probabilities from the generator,
+        kept for diagnostics and oracle checks (never used by models).
+    review_user_rows / review_item_cols / review_counts:
+        optional per-interaction review bags: review ``j`` was written by
+        user ``review_user_rows[j]`` on item ``review_item_cols[j]`` with
+        word counts ``review_counts[j]``.  They let
+        :meth:`build_content` rebuild content matrices that *exclude*
+        held-out interactions, so evaluation positives leak no text.
+    """
+
+    name: str
+    ratings: np.ndarray
+    user_content: np.ndarray
+    item_content: np.ndarray
+    user_ids: np.ndarray
+    true_affinity: np.ndarray | None = field(default=None, repr=False)
+    review_user_rows: np.ndarray | None = field(default=None, repr=False)
+    review_item_cols: np.ndarray | None = field(default=None, repr=False)
+    review_counts: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        n_users, n_items = self.ratings.shape
+        if self.user_content.shape[0] != n_users:
+            raise ValueError("user_content rows must match n_users")
+        if self.item_content.shape[0] != n_items:
+            raise ValueError("item_content rows must match n_items")
+        if self.user_ids.shape != (n_users,):
+            raise ValueError("user_ids must be one id per user row")
+
+    @property
+    def n_users(self) -> int:
+        return self.ratings.shape[0]
+
+    @property
+    def n_items(self) -> int:
+        return self.ratings.shape[1]
+
+    @property
+    def n_ratings(self) -> int:
+        return int(self.ratings.sum())
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of the user-item matrix with *no* interaction."""
+        total = self.ratings.size
+        return 1.0 - self.n_ratings / total if total else 1.0
+
+    def user_interactions(self, user_row: int) -> np.ndarray:
+        """Item indices the user interacted with."""
+        return np.flatnonzero(self.ratings[user_row] > 0)
+
+    def item_interactions(self, item_col: int) -> np.ndarray:
+        """User rows that interacted with the item."""
+        return np.flatnonzero(self.ratings[:, item_col] > 0)
+
+    def user_degree(self) -> np.ndarray:
+        """Number of interactions per user."""
+        return self.ratings.sum(axis=1).astype(int)
+
+    def item_degree(self) -> np.ndarray:
+        """Number of interactions per item."""
+        return self.ratings.sum(axis=0).astype(int)
+
+    def has_reviews(self) -> bool:
+        """Whether per-interaction review bags were recorded."""
+        return self.review_counts is not None
+
+    def build_content(
+        self, exclude: set[tuple[int, int]] | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Rebuild (user_content, item_content) from the stored review bags.
+
+        ``exclude`` is a set of ``(user_row, item_col)`` interactions whose
+        reviews must not contribute — typically the evaluation positives,
+        whose reviews do not exist yet at recommendation time.  Rows are
+        L1-normalized; users/items left with no reviews get zero rows.
+        """
+        if not self.has_reviews():
+            raise ValueError(f"domain {self.name!r} has no stored review bags")
+        assert self.review_counts is not None
+        vocab = self.review_counts.shape[1]
+        user_content = np.zeros((self.n_users, vocab))
+        item_content = np.zeros((self.n_items, vocab))
+        excluded = exclude or set()
+        for j in range(self.review_counts.shape[0]):
+            u = int(self.review_user_rows[j])
+            i = int(self.review_item_cols[j])
+            if (u, i) in excluded:
+                continue
+            user_content[u] += self.review_counts[j]
+            item_content[i] += self.review_counts[j]
+        for matrix in (user_content, item_content):
+            sums = matrix.sum(axis=1, keepdims=True)
+            np.divide(matrix, sums, out=matrix, where=sums > 0)
+        return user_content, item_content
+
+    def with_content(
+        self, user_content: np.ndarray, item_content: np.ndarray
+    ) -> "Domain":
+        """Copy of this domain with substituted content matrices."""
+        return Domain(
+            name=self.name,
+            ratings=self.ratings,
+            user_content=user_content,
+            item_content=item_content,
+            user_ids=self.user_ids,
+            true_affinity=self.true_affinity,
+            review_user_rows=self.review_user_rows,
+            review_item_cols=self.review_item_cols,
+            review_counts=self.review_counts,
+        )
+
+
+@dataclass
+class DomainPair:
+    """A source/target pair restricted to their shared users.
+
+    Rows are aligned: row ``i`` of every array refers to the same underlying
+    user.  This is exactly the training input of one Dual-CVAE.
+    """
+
+    source_name: str
+    target_name: str
+    shared_user_ids: np.ndarray
+    ratings_source: np.ndarray  # (n_shared, n_items_source)
+    ratings_target: np.ndarray  # (n_shared, n_items_target)
+    content_source: np.ndarray  # (n_shared, vocab)
+    content_target: np.ndarray  # (n_shared, vocab)
+
+    def __post_init__(self) -> None:
+        n = self.shared_user_ids.shape[0]
+        for arr, label in [
+            (self.ratings_source, "ratings_source"),
+            (self.ratings_target, "ratings_target"),
+            (self.content_source, "content_source"),
+            (self.content_target, "content_target"),
+        ]:
+            if arr.shape[0] != n:
+                raise ValueError(f"{label} must have one row per shared user")
+
+    @property
+    def n_shared_users(self) -> int:
+        return self.shared_user_ids.shape[0]
+
+
+@dataclass
+class MultiDomainDataset:
+    """The full benchmark: several source domains and one or more targets.
+
+    ``pairs[(source, target)]`` holds the aligned shared-user data used to
+    train the Dual-CVAE for that source; ``targets[name]`` holds the complete
+    target domain used for preference meta-learning and evaluation.
+    """
+
+    vocab: Vocabulary
+    sources: dict[str, Domain]
+    targets: dict[str, Domain]
+    pairs: dict[tuple[str, str], DomainPair]
+
+    def source_names(self) -> list[str]:
+        return sorted(self.sources)
+
+    def target_names(self) -> list[str]:
+        return sorted(self.targets)
+
+    def pairs_for_target(self, target_name: str) -> list[DomainPair]:
+        """All (source → target) pairs for one target, sorted by source name."""
+        if target_name not in self.targets:
+            raise KeyError(f"unknown target domain {target_name!r}")
+        return [
+            self.pairs[key]
+            for key in sorted(self.pairs)
+            if key[1] == target_name
+        ]
+
+
+def align_shared_users(source: Domain, target: Domain) -> DomainPair:
+    """Build the aligned shared-user view of a source/target domain pair."""
+    shared = np.intersect1d(source.user_ids, target.user_ids)
+    src_index = {uid: row for row, uid in enumerate(source.user_ids)}
+    tgt_index = {uid: row for row, uid in enumerate(target.user_ids)}
+    src_rows = np.array([src_index[uid] for uid in shared], dtype=int)
+    tgt_rows = np.array([tgt_index[uid] for uid in shared], dtype=int)
+    return DomainPair(
+        source_name=source.name,
+        target_name=target.name,
+        shared_user_ids=shared,
+        ratings_source=source.ratings[src_rows],
+        ratings_target=target.ratings[tgt_rows],
+        content_source=source.user_content[src_rows],
+        content_target=target.user_content[tgt_rows],
+    )

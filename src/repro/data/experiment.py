@@ -1,0 +1,171 @@
+"""One fully-prepared evaluation run: splits, tasks, instances, visibility.
+
+:func:`prepare_experiment` is the single place that enforces the information
+rules every method must respect:
+
+- **rating visibility**: methods train on the warm tasks' support positives
+  (plus their sampled negatives).  Query positives — including every
+  evaluation positive — are never in any training matrix.  The Dual-CVAE
+  pairs are rebuilt so the target side only contains training-visible
+  ratings of shared *existing* users.
+- **content visibility**: review text for an evaluation positive does not
+  exist yet at recommendation time (the user hasn't interacted), so the
+  content matrices are rebuilt from the stored per-interaction review bags
+  excluding every task's query positives.
+
+Everything downstream (method fitting, fine-tuning, scoring) consumes the
+adjusted dataset carried by the returned :class:`Experiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.data.domain import Domain, DomainPair, MultiDomainDataset
+
+if TYPE_CHECKING:  # runtime import is deferred to avoid a package cycle
+    from repro.core.interface import FitContext
+from repro.data.negative_sampling import EvalInstance, build_eval_instances
+from repro.data.splits import ColdStartSplits, Scenario, make_cold_start_splits
+from repro.data.tasks import TaskConfig, TaskSet, build_task_set
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass
+class Experiment:
+    """Prepared data for evaluating methods on one target domain."""
+
+    dataset: MultiDomainDataset
+    target_name: str
+    splits: ColdStartSplits
+    task_sets: dict[Scenario, TaskSet]
+    instances: dict[Scenario, list[EvalInstance]]
+    ctx: "FitContext"
+    seed: int
+
+    @property
+    def domain(self) -> Domain:
+        return self.dataset.targets[self.target_name]
+
+
+def prepare_experiment(
+    dataset: MultiDomainDataset,
+    target_name: str,
+    seed: int = 0,
+    task_config: TaskConfig | None = None,
+    n_negatives: int = 99,
+    scenarios: list[Scenario] | None = None,
+) -> Experiment:
+    """Build the full, leak-free evaluation bundle for one target domain."""
+    from repro.core.interface import FitContext, training_visibility
+
+    if target_name not in dataset.targets:
+        raise KeyError(f"unknown target domain {target_name!r}")
+    scenarios = scenarios or list(Scenario)
+    if Scenario.WARM not in scenarios:
+        scenarios = [Scenario.WARM, *scenarios]
+    domain = dataset.targets[target_name]
+    split_rng, *scenario_rngs = spawn_rngs(seed, 1 + 2 * len(scenarios))
+
+    splits = make_cold_start_splits(domain, rng=split_rng)
+
+    task_sets: dict[Scenario, TaskSet] = {}
+    instances: dict[Scenario, list[EvalInstance]] = {}
+    for idx, scenario in enumerate(scenarios):
+        task_rng, neg_rng = scenario_rngs[2 * idx], scenario_rngs[2 * idx + 1]
+        tasks = build_task_set(domain, splits, scenario, config=task_config, rng=task_rng)
+        task_sets[scenario] = tasks
+        instances[scenario] = build_eval_instances(
+            domain, splits, scenario, tasks, n_negatives=n_negatives, rng=neg_rng
+        )
+
+    # Content visibility: no review text for any query positive.
+    exclude: set[tuple[int, int]] = set()
+    for tasks in task_sets.values():
+        for task in tasks:
+            for item in task.query_items[task.query_labels > 0.5]:
+                exclude.add((task.user_row, int(item)))
+    user_content, item_content = domain.build_content(exclude)
+    adjusted_domain = domain.with_content(user_content, item_content)
+
+    # Rating visibility: warm support positives only.
+    train_ratings = training_visibility(
+        domain.n_users, domain.n_items, task_sets[Scenario.WARM]
+    )
+
+    adjusted_dataset = _rebuild_dataset(
+        dataset, target_name, adjusted_domain, train_ratings, splits
+    )
+    ctx = FitContext(
+        dataset=adjusted_dataset,
+        target_name=target_name,
+        splits=splits,
+        warm_tasks=task_sets[Scenario.WARM],
+        seed=seed,
+        train_ratings=train_ratings,
+    )
+    return Experiment(
+        dataset=adjusted_dataset,
+        target_name=target_name,
+        splits=splits,
+        task_sets=task_sets,
+        instances=instances,
+        ctx=ctx,
+        seed=seed,
+    )
+
+
+def _rebuild_dataset(
+    dataset: MultiDomainDataset,
+    target_name: str,
+    adjusted_domain: Domain,
+    train_ratings: np.ndarray,
+    splits: ColdStartSplits,
+) -> MultiDomainDataset:
+    """Swap in the adjusted target domain and rebuild its Dual-CVAE pairs.
+
+    Pair rows are restricted to shared users who are *existing* users of the
+    target (the paper trains domain adaptation on Rw); the target-side
+    ratings come from the training-visible matrix and the target-side
+    content from the leak-free content matrix.
+    """
+    targets = dict(dataset.targets)
+    targets[target_name] = adjusted_domain
+
+    existing = set(int(u) for u in splits.existing_users)
+    tgt_index = {uid: row for row, uid in enumerate(adjusted_domain.user_ids)}
+
+    pairs: dict[tuple[str, str], DomainPair] = {}
+    for key, pair in dataset.pairs.items():
+        source_name, pair_target = key
+        if pair_target != target_name:
+            pairs[key] = pair
+            continue
+        source = dataset.sources[source_name]
+        src_index = {uid: row for row, uid in enumerate(source.user_ids)}
+        kept_ids = [
+            uid
+            for uid in pair.shared_user_ids
+            if tgt_index[uid] in existing
+        ]
+        src_rows = np.array([src_index[uid] for uid in kept_ids], dtype=int)
+        tgt_rows = np.array([tgt_index[uid] for uid in kept_ids], dtype=int)
+        pairs[key] = DomainPair(
+            source_name=source_name,
+            target_name=target_name,
+            shared_user_ids=np.asarray(kept_ids, dtype=int),
+            ratings_source=source.ratings[src_rows],
+            ratings_target=train_ratings[tgt_rows],
+            content_source=source.user_content[src_rows],
+            content_target=adjusted_domain.user_content[tgt_rows],
+        )
+    return MultiDomainDataset(
+        vocab=dataset.vocab,
+        sources=dataset.sources,
+        targets=targets,
+        pairs=pairs,
+    )

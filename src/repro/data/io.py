@@ -1,0 +1,105 @@
+"""Persistence for generated datasets.
+
+A :class:`~repro.data.domain.MultiDomainDataset` is a deterministic function
+of its generator seed, but regenerating large instances is slow and sharing
+exact benchmark instances matters for reproducibility, so datasets can be
+saved to / loaded from a single ``.npz`` archive.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.domain import Domain, DomainPair, MultiDomainDataset
+from repro.data.vocab import Vocabulary
+
+_DOMAIN_ARRAYS = (
+    "ratings",
+    "user_content",
+    "item_content",
+    "user_ids",
+    "true_affinity",
+    "review_user_rows",
+    "review_item_cols",
+    "review_counts",
+)
+
+
+def save_dataset(path: str | Path, dataset: MultiDomainDataset) -> None:
+    """Serialize a dataset (domains, pairs, vocabulary) to one npz archive."""
+    payload: dict[str, np.ndarray] = {}
+    manifest = {
+        "sources": dataset.source_names(),
+        "targets": dataset.target_names(),
+        "pairs": [list(key) for key in sorted(dataset.pairs)],
+        "vocab": {"size": dataset.vocab.size, "n_topics": dataset.vocab.n_topics},
+    }
+    payload["vocab.topic_word"] = dataset.vocab.topic_word
+    for kind, domains in (("src", dataset.sources), ("tgt", dataset.targets)):
+        for name, domain in domains.items():
+            prefix = f"{kind}.{name}"
+            for attr in _DOMAIN_ARRAYS:
+                value = getattr(domain, attr)
+                if value is not None:
+                    payload[f"{prefix}.{attr}"] = value
+    for (source, target), pair in dataset.pairs.items():
+        prefix = f"pair.{source}->{target}"
+        payload[f"{prefix}.shared_user_ids"] = pair.shared_user_ids
+        payload[f"{prefix}.ratings_source"] = pair.ratings_source
+        payload[f"{prefix}.ratings_target"] = pair.ratings_target
+        payload[f"{prefix}.content_source"] = pair.content_source
+        payload[f"{prefix}.content_target"] = pair.content_target
+    payload["__manifest__"] = np.frombuffer(
+        json.dumps(manifest, sort_keys=True).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_dataset(path: str | Path) -> MultiDomainDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    with np.load(Path(path)) as archive:
+        manifest = json.loads(archive["__manifest__"].tobytes().decode())
+        vocab = Vocabulary(
+            size=manifest["vocab"]["size"],
+            n_topics=manifest["vocab"]["n_topics"],
+            topic_word=archive["vocab.topic_word"],
+        )
+
+        def read_domain(kind: str, name: str) -> Domain:
+            prefix = f"{kind}.{name}"
+            def get(attr: str):
+                key = f"{prefix}.{attr}"
+                return archive[key] if key in archive.files else None
+
+            return Domain(
+                name=name,
+                ratings=archive[f"{prefix}.ratings"],
+                user_content=archive[f"{prefix}.user_content"],
+                item_content=archive[f"{prefix}.item_content"],
+                user_ids=archive[f"{prefix}.user_ids"],
+                true_affinity=get("true_affinity"),
+                review_user_rows=get("review_user_rows"),
+                review_item_cols=get("review_item_cols"),
+                review_counts=get("review_counts"),
+            )
+
+        sources = {name: read_domain("src", name) for name in manifest["sources"]}
+        targets = {name: read_domain("tgt", name) for name in manifest["targets"]}
+        pairs = {}
+        for source, target in (tuple(key) for key in manifest["pairs"]):
+            prefix = f"pair.{source}->{target}"
+            pairs[(source, target)] = DomainPair(
+                source_name=source,
+                target_name=target,
+                shared_user_ids=archive[f"{prefix}.shared_user_ids"],
+                ratings_source=archive[f"{prefix}.ratings_source"],
+                ratings_target=archive[f"{prefix}.ratings_target"],
+                content_source=archive[f"{prefix}.content_source"],
+                content_target=archive[f"{prefix}.content_target"],
+            )
+    return MultiDomainDataset(
+        vocab=vocab, sources=sources, targets=targets, pairs=pairs
+    )

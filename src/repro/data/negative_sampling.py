@@ -1,0 +1,90 @@
+"""Leave-one-out evaluation instances with sampled negatives.
+
+Following the common implicit-feedback protocol the paper adopts (Section
+V-A2): for each evaluated user one held-out positive item is ranked against
+99 sampled negative (non-interacted) items; HR@k / MRR@k / NDCG@k / AUC are
+computed over that 100-item candidate list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.domain import Domain
+from repro.data.splits import ColdStartSplits, Scenario
+from repro.data.tasks import TaskSet
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class EvalInstance:
+    """One ranking trial: a positive item hidden among sampled negatives."""
+
+    user_row: int
+    pos_item: int
+    neg_items: np.ndarray
+
+    @property
+    def candidates(self) -> np.ndarray:
+        """All candidate items, positive first."""
+        return np.concatenate([[self.pos_item], self.neg_items])
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Binary relevance aligned with :attr:`candidates`."""
+        labels = np.zeros(self.neg_items.size + 1)
+        labels[0] = 1.0
+        return labels
+
+
+def build_eval_instances(
+    domain: Domain,
+    splits: ColdStartSplits,
+    scenario: Scenario,
+    task_set: TaskSet,
+    n_negatives: int = 99,
+    max_per_user: int = 1,
+    rng: int | np.random.Generator | None = None,
+) -> list[EvalInstance]:
+    """Build leave-one-out instances from each task's *query* positives.
+
+    Query positives were never seen by the fine-tuning (support) step, so
+    ranking them against sampled negatives measures generalization.
+    Negatives are drawn from items in the scenario's item set that the user
+    never interacted with anywhere in the domain.
+    """
+    if n_negatives <= 0:
+        raise ValueError("n_negatives must be positive")
+    gen = ensure_rng(rng)
+    items = splits.items_for(scenario)
+    item_mask = np.zeros(domain.n_items, dtype=bool)
+    item_mask[items] = True
+
+    instances: list[EvalInstance] = []
+    for task in task_set:
+        rated = domain.user_interactions(task.user_row)
+        candidate_mask = item_mask.copy()
+        candidate_mask[rated] = False
+        candidates = np.flatnonzero(candidate_mask)
+        if candidates.size == 0:
+            continue
+
+        query_pos = task.query_items[task.query_labels > 0.5]
+        if query_pos.size == 0:
+            continue
+        if query_pos.size > max_per_user:
+            query_pos = gen.choice(query_pos, size=max_per_user, replace=False)
+
+        for pos_item in query_pos:
+            n_neg = min(n_negatives, candidates.size)
+            negatives = gen.choice(candidates, size=n_neg, replace=False)
+            instances.append(
+                EvalInstance(
+                    user_row=task.user_row,
+                    pos_item=int(pos_item),
+                    neg_items=negatives.astype(int),
+                )
+            )
+    return instances

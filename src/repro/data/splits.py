@@ -1,0 +1,115 @@
+"""Warm-start and cold-start splits of a target domain.
+
+Following Section III-A of the paper:
+
+- **existing users** ``Ue`` rated at least ``user_threshold`` (default 5)
+  items; the remaining users are **new (cold) users** ``Un``;
+- **new (cold) items** ``In`` are items whose ratings are *hidden from
+  meta-training*; the remaining items are **existing items** ``Ie``;
+- the four evaluation scenarios are the four blocks of the rating matrix:
+  Warm-start (Ue × Ie), C-U (Un × Ie), C-I (Ue × In), C-UI (Un × In).
+
+Substitution note: on the paper's full-size Amazon data "new items" are those
+with fewer than 5 ratings.  At simulator scale that rule starves the C-I and
+C-UI blocks (the few sub-5-degree items carry almost no rating mass), so new
+items are a random ``cold_item_frac`` sample of the catalog that always
+*includes* every item below ``item_threshold``.  Because no rating touching a
+new item ever enters training, these items are exactly as cold from the
+model's perspective as the paper's; this is also the protocol MeLU-style
+reproductions use.  The random draw is seeded per split, which is what the
+paper's 30-way random-split significance test (Section V-D) varies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.domain import Domain
+from repro.utils.rng import ensure_rng
+
+
+class Scenario(enum.Enum):
+    """The four recommendation problems defined in the paper."""
+
+    WARM = "warm-start"
+    C_U = "user cold-start"
+    C_I = "item cold-start"
+    C_UI = "user&item cold-start"
+
+    @property
+    def uses_new_users(self) -> bool:
+        return self in (Scenario.C_U, Scenario.C_UI)
+
+    @property
+    def uses_new_items(self) -> bool:
+        return self in (Scenario.C_I, Scenario.C_UI)
+
+
+@dataclass(frozen=True)
+class ColdStartSplits:
+    """User/item partition of one target domain."""
+
+    existing_users: np.ndarray
+    new_users: np.ndarray
+    existing_items: np.ndarray
+    new_items: np.ndarray
+
+    def users_for(self, scenario: Scenario) -> np.ndarray:
+        return self.new_users if scenario.uses_new_users else self.existing_users
+
+    def items_for(self, scenario: Scenario) -> np.ndarray:
+        return self.new_items if scenario.uses_new_items else self.existing_items
+
+
+def make_cold_start_splits(
+    domain: Domain,
+    user_threshold: int = 5,
+    item_threshold: int = 5,
+    cold_item_frac: float = 0.3,
+    min_cold_users: int = 5,
+    rng: int | np.random.Generator | None = 0,
+) -> ColdStartSplits:
+    """Partition a domain's users and items into existing/new sets.
+
+    Users are partitioned by degree (< ``user_threshold`` interactions =>
+    cold).  New items are a seeded random ``cold_item_frac`` sample of the
+    catalog that always contains every item with degree below
+    ``item_threshold`` (see the module docstring for why).
+
+    Raises ``ValueError`` if the domain cannot support all four scenarios.
+    """
+    if not 0.0 < cold_item_frac < 1.0:
+        raise ValueError("cold_item_frac must be in (0, 1)")
+    gen = ensure_rng(rng)
+    user_degree = domain.user_degree()
+    item_degree = domain.item_degree()
+
+    new_user_mask = user_degree < user_threshold
+    if new_user_mask.sum() < min_cold_users:
+        # Designate the least-active users as cold.
+        order = np.argsort(user_degree, kind="stable")
+        new_user_mask = np.zeros_like(new_user_mask)
+        new_user_mask[order[:min_cold_users]] = True
+
+    n_cold_items = max(1, int(round(cold_item_frac * domain.n_items)))
+    new_item_mask = item_degree < item_threshold
+    deficit = n_cold_items - int(new_item_mask.sum())
+    if deficit > 0:
+        candidates = np.flatnonzero(~new_item_mask)
+        extra = gen.choice(candidates, size=min(deficit, candidates.size), replace=False)
+        new_item_mask[extra] = True
+
+    splits = ColdStartSplits(
+        existing_users=np.flatnonzero(~new_user_mask),
+        new_users=np.flatnonzero(new_user_mask),
+        existing_items=np.flatnonzero(~new_item_mask),
+        new_items=np.flatnonzero(new_item_mask),
+    )
+    if splits.existing_users.size == 0 or splits.existing_items.size == 0:
+        raise ValueError(
+            f"domain {domain.name!r} has no warm block; lower the thresholds"
+        )
+    return splits

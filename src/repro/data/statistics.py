@@ -1,0 +1,93 @@
+"""Dataset statistics in the format of the paper's Tables I and II."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.domain import Domain, DomainPair, MultiDomainDataset
+
+
+@dataclass(frozen=True)
+class DomainStats:
+    """Row of Table II: a target domain's size and sparsity."""
+
+    name: str
+    n_users: int
+    n_items: int
+    n_ratings: int
+    sparsity: float
+
+    def as_row(self) -> str:
+        return (
+            f"{self.name:<14} {self.n_users:>8} {self.n_items:>8} "
+            f"{self.n_ratings:>10} {self.sparsity:>8.2%}"
+        )
+
+
+@dataclass(frozen=True)
+class PairStats:
+    """Row of Table I: a source domain and its shared users with targets."""
+
+    source: str
+    shared_users: dict[str, int]
+    n_items: int
+    n_ratings: int
+    sparsity: float
+
+    def as_row(self, target_order: tuple[str, ...]) -> str:
+        shared = " ".join(
+            f"{self.shared_users.get(t, 0):>8}" for t in target_order
+        )
+        return (
+            f"{self.source:<14} {shared} {self.n_items:>8} "
+            f"{self.n_ratings:>10} {self.sparsity:>8.2%}"
+        )
+
+
+def domain_statistics(domain: Domain) -> DomainStats:
+    """Compute Table-II-style statistics for one domain."""
+    return DomainStats(
+        name=domain.name,
+        n_users=domain.n_users,
+        n_items=domain.n_items,
+        n_ratings=domain.n_ratings,
+        sparsity=domain.sparsity,
+    )
+
+
+def pair_statistics(dataset: MultiDomainDataset, source_name: str) -> PairStats:
+    """Compute Table-I-style statistics for one source domain."""
+    source = dataset.sources[source_name]
+    shared = {
+        target_name: dataset.pairs[(source_name, target_name)].n_shared_users
+        for target_name in dataset.target_names()
+    }
+    return PairStats(
+        source=source_name,
+        shared_users=shared,
+        n_items=source.n_items,
+        n_ratings=source.n_ratings,
+        sparsity=source.sparsity,
+    )
+
+
+def format_table_1(dataset: MultiDomainDataset) -> str:
+    """Render Table I (source-domain statistics) as text."""
+    targets = tuple(dataset.target_names())
+    header_shared = " ".join(f"#shared({t})"[:8].rjust(8) for t in targets)
+    lines = [
+        f"{'Source':<14} {header_shared} {'#items':>8} {'#ratings':>10} {'sparsity':>8}"
+    ]
+    for source_name in dataset.source_names():
+        lines.append(pair_statistics(dataset, source_name).as_row(targets))
+    return "\n".join(lines)
+
+
+def format_table_2(dataset: MultiDomainDataset) -> str:
+    """Render Table II (target-domain statistics) as text."""
+    lines = [
+        f"{'Dataset':<14} {'#users':>8} {'#items':>8} {'#ratings':>10} {'sparsity':>8}"
+    ]
+    for target_name in dataset.target_names():
+        lines.append(domain_statistics(dataset.targets[target_name]).as_row())
+    return "\n".join(lines)

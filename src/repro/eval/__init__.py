@@ -1,0 +1,19 @@
+"""Evaluation: ranking metrics, the leave-one-out protocol, significance tests."""
+
+from repro.eval.metrics import MetricSet, auc, hit_ratio, mrr, ndcg, rank_of_positive
+from repro.eval.protocol import EvaluationResult, evaluate_method, evaluate_scenarios
+from repro.eval.significance import SignificanceResult, wilcoxon_one_sided
+
+__all__ = [
+    "MetricSet",
+    "rank_of_positive",
+    "hit_ratio",
+    "mrr",
+    "ndcg",
+    "auc",
+    "EvaluationResult",
+    "evaluate_method",
+    "evaluate_scenarios",
+    "SignificanceResult",
+    "wilcoxon_one_sided",
+]

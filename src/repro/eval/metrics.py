@@ -1,0 +1,107 @@
+"""Top-k ranking metrics used throughout the paper's evaluation.
+
+All metrics operate on one leave-one-out trial: a score array whose first
+entry is the held-out positive item and whose remaining entries are sampled
+negatives (:class:`repro.data.negative_sampling.EvalInstance` layout).
+
+Ties are handled with the mid-rank convention so that a constant scorer gets
+AUC 0.5 and chance-level HR, rather than an arbitrary 0 or 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def rank_of_positive(scores: np.ndarray) -> float:
+    """1-based rank of the positive (index 0), mid-rank for ties."""
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 1 or scores.size < 1:
+        raise ValueError("scores must be a non-empty 1-D array")
+    pos = scores[0]
+    higher = float(np.sum(scores[1:] > pos))
+    ties = float(np.sum(scores[1:] == pos))
+    return 1.0 + higher + 0.5 * ties
+
+
+def hit_ratio(scores: np.ndarray, k: int) -> float:
+    """1.0 if the positive ranks within the top-``k``, else 0.0."""
+    _check_k(k)
+    return 1.0 if rank_of_positive(scores) <= k else 0.0
+
+
+def mrr(scores: np.ndarray, k: int) -> float:
+    """Reciprocal rank if the positive is within top-``k``, else 0."""
+    _check_k(k)
+    rank = rank_of_positive(scores)
+    return 1.0 / rank if rank <= k else 0.0
+
+
+def ndcg(scores: np.ndarray, k: int) -> float:
+    """NDCG@k for a single relevant item: ``1 / log2(rank + 1)`` inside top-k.
+
+    With exactly one relevant item the ideal DCG is 1, so no normalization
+    constant is needed.
+    """
+    _check_k(k)
+    rank = rank_of_positive(scores)
+    return float(1.0 / np.log2(rank + 1.0)) if rank <= k else 0.0
+
+
+def auc(scores: np.ndarray) -> float:
+    """Fraction of negatives ranked below the positive (ties count half)."""
+    scores = np.asarray(scores, dtype=float)
+    n_neg = scores.size - 1
+    if n_neg == 0:
+        return 0.5
+    pos = scores[0]
+    wins = float(np.sum(scores[1:] < pos))
+    ties = float(np.sum(scores[1:] == pos))
+    return (wins + 0.5 * ties) / n_neg
+
+
+def _check_k(k: int) -> None:
+    if k <= 0:
+        raise ValueError("k must be positive")
+
+
+@dataclass(frozen=True)
+class MetricSet:
+    """The four headline metrics of Table III, averaged over trials."""
+
+    hr: float
+    mrr: float
+    ndcg: float
+    auc: float
+    n_trials: int
+    k: int = 10
+
+    @staticmethod
+    def from_score_lists(score_lists: list[np.ndarray], k: int = 10) -> "MetricSet":
+        """Aggregate metrics over many leave-one-out trials."""
+        if not score_lists:
+            return MetricSet(hr=0.0, mrr=0.0, ndcg=0.0, auc=0.0, n_trials=0, k=k)
+        return MetricSet(
+            hr=float(np.mean([hit_ratio(s, k) for s in score_lists])),
+            mrr=float(np.mean([mrr(s, k) for s in score_lists])),
+            ndcg=float(np.mean([ndcg(s, k) for s in score_lists])),
+            auc=float(np.mean([auc(s) for s in score_lists])),
+            n_trials=len(score_lists),
+            k=k,
+        )
+
+    def as_row(self, label: str) -> str:
+        return (
+            f"{label:<12} HR@{self.k}={self.hr:.4f}  MRR@{self.k}={self.mrr:.4f}  "
+            f"NDCG@{self.k}={self.ndcg:.4f}  AUC={self.auc:.4f}  (n={self.n_trials})"
+        )
+
+
+def ndcg_curve(score_lists: list[np.ndarray], ks: list[int]) -> dict[int, float]:
+    """NDCG@k for several cutoffs — the series plotted in Figs. 3–5."""
+    return {
+        k: float(np.mean([ndcg(s, k) for s in score_lists])) if score_lists else 0.0
+        for k in ks
+    }

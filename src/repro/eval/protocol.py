@@ -1,0 +1,151 @@
+"""The end-to-end evaluation protocol of Section V-A2.
+
+For each scenario:
+
+1. build meta-test tasks from the scenario's block of the rating matrix,
+2. build leave-one-out instances (one query positive vs 99 sampled
+   negatives) from each task,
+3. let the method score each instance, passing the task's support set so
+   meta-learners can fine-tune,
+4. aggregate HR@k / MRR@k / NDCG@k / AUC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.interface import FitContext, Recommender
+from repro.data.domain import Domain
+from repro.data.negative_sampling import EvalInstance, build_eval_instances
+from repro.data.splits import ColdStartSplits, Scenario
+from repro.data.tasks import PreferenceTask, TaskConfig, TaskSet, build_task_set
+from repro.eval.metrics import MetricSet, ndcg_curve
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass
+class EvaluationResult:
+    """Scores of one method on one (domain, scenario) pair."""
+
+    method: str
+    domain: str
+    scenario: Scenario
+    metrics: MetricSet
+    score_lists: list[np.ndarray] = field(repr=False, default_factory=list)
+
+    def ndcg_at(self, ks: list[int]) -> dict[int, float]:
+        """NDCG@k curve over the stored per-instance score lists."""
+        return ndcg_curve(self.score_lists, ks)
+
+
+def evaluate_method(
+    method: Recommender,
+    domain: Domain,
+    splits: ColdStartSplits,
+    scenario: Scenario,
+    task_config: TaskConfig | None = None,
+    n_negatives: int = 99,
+    k: int = 10,
+    seed: int = 0,
+) -> EvaluationResult:
+    """Evaluate a fitted method on one scenario of one target domain."""
+    task_rng, neg_rng = spawn_rngs(seed, 2)
+    tasks = build_task_set(domain, splits, scenario, config=task_config, rng=task_rng)
+    instances = build_eval_instances(
+        domain, splits, scenario, tasks, n_negatives=n_negatives, rng=neg_rng
+    )
+    task_by_user = {t.user_row: t for t in tasks}
+    aligned_tasks: list[PreferenceTask | None] = [
+        task_by_user.get(inst.user_row) for inst in instances
+    ]
+    score_lists = method.score_batch(aligned_tasks, instances)
+    return EvaluationResult(
+        method=method.name,
+        domain=domain.name,
+        scenario=scenario,
+        metrics=MetricSet.from_score_lists(score_lists, k=k),
+        score_lists=score_lists,
+    )
+
+
+def evaluate_prepared(
+    method: Recommender,
+    experiment,
+    scenarios: list[Scenario] | None = None,
+    k: int = 10,
+    fit: bool = True,
+) -> dict[Scenario, EvaluationResult]:
+    """Evaluate on a :class:`repro.data.experiment.Experiment` bundle.
+
+    This is the preferred entry point: the experiment bundle owns the
+    leak-free splits, tasks, instances and visibility matrices, so every
+    method is scored on *identical* candidate lists.
+    """
+    if fit:
+        method.fit(experiment.ctx)
+    results: dict[Scenario, EvaluationResult] = {}
+    for scenario in scenarios or list(experiment.task_sets):
+        tasks = experiment.task_sets[scenario]
+        instances = experiment.instances[scenario]
+        task_by_user = {t.user_row: t for t in tasks}
+        aligned: list[PreferenceTask | None] = [
+            task_by_user.get(inst.user_row) for inst in instances
+        ]
+        score_lists = method.score_batch(aligned, instances)
+        results[scenario] = EvaluationResult(
+            method=method.name,
+            domain=experiment.domain.name,
+            scenario=scenario,
+            metrics=MetricSet.from_score_lists(score_lists, k=k),
+            score_lists=score_lists,
+        )
+    return results
+
+
+def evaluate_scenarios(
+    method: Recommender,
+    ctx: FitContext,
+    scenarios: list[Scenario] | None = None,
+    task_config: TaskConfig | None = None,
+    n_negatives: int = 99,
+    k: int = 10,
+) -> dict[Scenario, EvaluationResult]:
+    """Fit once, then evaluate on every requested scenario."""
+    method.fit(ctx)
+    results = {}
+    for scenario in scenarios or list(Scenario):
+        results[scenario] = evaluate_method(
+            method,
+            ctx.domain,
+            ctx.splits,
+            scenario,
+            task_config=task_config,
+            n_negatives=n_negatives,
+            k=k,
+            seed=ctx.seed,
+        )
+    return results
+
+
+def format_results_table(
+    results: dict[str, dict[Scenario, EvaluationResult]],
+    scenarios: list[Scenario] | None = None,
+) -> str:
+    """Render a Table-III-style block: rows = methods, grouped by scenario."""
+    lines: list[str] = []
+    for scenario in scenarios or list(Scenario):
+        lines.append(f"--- {scenario.value} ---")
+        header = f"{'Method':<12} {'HR@10':>8} {'MRR@10':>8} {'NDCG@10':>8} {'AUC':>8}"
+        lines.append(header)
+        for method_name, per_scenario in results.items():
+            res = per_scenario.get(scenario)
+            if res is None:
+                continue
+            m = res.metrics
+            lines.append(
+                f"{method_name:<12} {m.hr:>8.4f} {m.mrr:>8.4f} {m.ndcg:>8.4f} {m.auc:>8.4f}"
+            )
+        lines.append("")
+    return "\n".join(lines)

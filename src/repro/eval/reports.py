@@ -1,0 +1,84 @@
+"""Export experiment results to Markdown and CSV.
+
+The experiment runners return rich result objects with ``format_table``
+methods for the console; these helpers render the same data in formats that
+can be dropped into a report or spreadsheet.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.data.splits import Scenario
+from repro.experiments.table3 import METRIC_NAMES, Table3Result
+
+_METRIC_HEADERS = {"hr": "HR@10", "mrr": "MRR@10", "ndcg": "NDCG@10", "auc": "AUC"}
+
+
+def table3_to_markdown(result: Table3Result, bold_best: bool = True) -> str:
+    """Render a Table-III result as GitHub-flavoured Markdown tables."""
+    chunks: list[str] = []
+    for target in result.targets:
+        chunks.append(f"### Target domain: {target}\n")
+        for scenario in Scenario:
+            chunks.append(f"**{scenario.value}**\n")
+            header = "| Method | " + " | ".join(
+                _METRIC_HEADERS[m] for m in METRIC_NAMES
+            ) + " |"
+            divider = "|" + "---|" * (len(METRIC_NAMES) + 1)
+            rows = [header, divider]
+            best = {
+                metric: max(
+                    result.mean(target, scenario, m, metric) for m in result.methods
+                )
+                for metric in METRIC_NAMES
+            }
+            for method in result.methods:
+                cells = []
+                for metric in METRIC_NAMES:
+                    value = result.mean(target, scenario, method, metric)
+                    text = f"{value:.4f}"
+                    if bold_best and value == best[metric]:
+                        text = f"**{text}**"
+                    cells.append(text)
+                rows.append(f"| {method} | " + " | ".join(cells) + " |")
+            chunks.append("\n".join(rows) + "\n")
+    return "\n".join(chunks)
+
+
+def table3_to_csv(result: Table3Result) -> str:
+    """Render a Table-III result as long-format CSV (one row per cell)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["target", "scenario", "method", "metric", "mean", "n_seeds"])
+    for target in result.targets:
+        for scenario in Scenario:
+            for method in result.methods:
+                for metric in METRIC_NAMES:
+                    writer.writerow(
+                        [
+                            target,
+                            scenario.value,
+                            method,
+                            metric,
+                            f"{result.mean(target, scenario, method, metric):.6f}",
+                            len(result.seeds),
+                        ]
+                    )
+    return buffer.getvalue()
+
+
+def curves_to_csv(ks: list[int], curves: dict, label: str = "series") -> str:
+    """Render NDCG@k curves (Figs. 3–5 data) as CSV.
+
+    ``curves`` maps ``(scenario, name)`` (or any 2-tuple whose first element
+    has a ``.value``) to a list of values aligned with ``ks``.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["scenario", label, *[f"k={k}" for k in ks]])
+    for (scenario, name), values in curves.items():
+        scenario_label = getattr(scenario, "value", str(scenario))
+        writer.writerow([scenario_label, name, *[f"{v:.6f}" for v in values]])
+    return buffer.getvalue()

@@ -1,0 +1,129 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.experiments.cli stats
+    python -m repro.experiments.cli table3 --seeds 0 1 2 --profile full
+    python -m repro.experiments.cli fig3 --target Books
+    python -m repro.experiments.cli fig5
+    python -m repro.experiments.cli fig6
+    python -m repro.experiments.cli fig7 --target CDs
+    python -m repro.experiments.cli fig8
+    python -m repro.experiments.cli significance --seeds 0 1 2 3 4 5 6 7
+
+Every command prints the paper-style table to stdout; ``--csv PATH`` /
+``--markdown PATH`` write machine-readable copies where supported.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.data.amazon import BenchmarkScale, make_amazon_like_benchmark
+from repro.experiments import (
+    run_ablation,
+    run_dataset_statistics,
+    run_hyperparam_sweep,
+    run_ndcg_curves,
+    run_scalability,
+    run_significance,
+    run_table3,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate MetaDPA paper tables and figures.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="benchmark generation seed")
+    parser.add_argument("--user-base", type=int, default=240, help="benchmark scale")
+    parser.add_argument("--item-base", type=int, default=150, help="benchmark scale")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--profile", choices=("full", "fast"), default="full")
+        p.add_argument("--seeds", type=int, nargs="+", default=[0])
+
+    sub.add_parser("stats", help="Tables I-II: dataset statistics")
+
+    p = sub.add_parser("table3", help="Table III: overall comparison")
+    common(p)
+    p.add_argument("--csv", type=Path, default=None)
+    p.add_argument("--markdown", type=Path, default=None)
+
+    for fig, target in (("fig3", "Books"), ("fig4", "CDs")):
+        p = sub.add_parser(fig, help=f"Figure {fig[-1]}: NDCG@k curves on {target}")
+        common(p)
+        p.add_argument("--target", default=target)
+
+    p = sub.add_parser("fig5", help="Figure 5: ME/MDI ablation")
+    common(p)
+    p.add_argument("--target", default="CDs")
+
+    sub.add_parser("fig6", help="Figure 6: scalability")
+
+    for fig, param in (("fig7", "beta1"), ("fig8", "beta2")):
+        p = sub.add_parser(fig, help=f"Figure {fig[-1]}: {param} sensitivity")
+        common(p)
+        p.add_argument("--target", default="CDs")
+
+    p = sub.add_parser("significance", help="Sec. V-D: Wilcoxon tests")
+    common(p)
+    p.add_argument("--target", default="CDs")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "fig6":
+        print(run_scalability().format_table())
+        return 0
+
+    dataset = make_amazon_like_benchmark(
+        scale=BenchmarkScale(user_base=args.user_base, item_base=args.item_base),
+        seed=args.seed,
+    )
+    if args.command == "stats":
+        print(run_dataset_statistics(dataset))
+        return 0
+
+    seeds = tuple(args.seeds)
+    if args.command == "table3":
+        result = run_table3(dataset, seeds=seeds, profile=args.profile, verbose=True)
+        print(result.format_table())
+        if args.csv:
+            from repro.eval.reports import table3_to_csv
+
+            args.csv.write_text(table3_to_csv(result))
+        if args.markdown:
+            from repro.eval.reports import table3_to_markdown
+
+            args.markdown.write_text(table3_to_markdown(result))
+    elif args.command in ("fig3", "fig4"):
+        result = run_ndcg_curves(
+            dataset, args.target, seeds=seeds, profile=args.profile
+        )
+        print(result.format_table())
+    elif args.command == "fig5":
+        result = run_ablation(
+            dataset, target=args.target, seeds=seeds, profile=args.profile
+        )
+        print(result.format_table())
+    elif args.command in ("fig7", "fig8"):
+        param = "beta1" if args.command == "fig7" else "beta2"
+        result = run_hyperparam_sweep(
+            dataset, param, target=args.target, seeds=seeds, profile=args.profile
+        )
+        print(result.format_table())
+    elif args.command == "significance":
+        report = run_significance(
+            dataset, target=args.target, seeds=seeds, profile=args.profile
+        )
+        print(report.format_table())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""Figures 7–8: sensitivity to the constraint weights β1 (MDI) and β2 (ME).
+
+The paper grid-searches β ∈ {1e-2, 1e-1, 1, 1e1, 1e2} on CDs and plots
+NDCG@20 for the four scenarios, concluding that β1 is more sensitive than
+β2 and that the best region is around β1 = 0.1, β2 = 1.
+:func:`sensitivity_range` quantifies the "more sensitive" claim as the
+max-min spread of NDCG across the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.domain import MultiDomainDataset
+from repro.data.experiment import prepare_experiment
+from repro.data.splits import Scenario
+from repro.eval.protocol import evaluate_prepared
+from repro.experiments.registry import make_method
+from repro.meta import MetaDPAConfig
+
+DEFAULT_GRID = (1e-2, 1e-1, 1.0, 1e1, 1e2)
+
+
+@dataclass
+class HyperparamResult:
+    """NDCG@20 per (scenario, β value) for one swept hyper-parameter."""
+
+    target: str
+    param: str  # "beta1" or "beta2"
+    grid: list[float]
+    seeds: list[int]
+    k: int
+    curves: dict[Scenario, list[float]] = field(default_factory=dict)
+
+    def sensitivity_range(self, scenario: Scenario) -> float:
+        """Spread (max - min) of NDCG across the grid — larger = more sensitive."""
+        vals = self.curves[scenario]
+        return float(max(vals) - min(vals))
+
+    def format_table(self) -> str:
+        lines = [
+            f"===== {self.param} sensitivity on {self.target} "
+            f"(NDCG@{self.k}, mean of {len(self.seeds)} seeds) ====="
+        ]
+        lines.append(
+            f"{'scenario':<24} " + " ".join(f"{b:<8.0e}" for b in self.grid) + "  spread"
+        )
+        for scenario in Scenario:
+            vals = self.curves[scenario]
+            lines.append(
+                f"{scenario.value:<24} "
+                + " ".join(f"{v:<8.4f}" for v in vals)
+                + f"  {self.sensitivity_range(scenario):.4f}"
+            )
+        return "\n".join(lines)
+
+
+def run_hyperparam_sweep(
+    dataset: MultiDomainDataset,
+    param: str,
+    target: str = "CDs",
+    grid: tuple[float, ...] = DEFAULT_GRID,
+    seeds: tuple[int, ...] = (0,),
+    profile: str = "full",
+    k: int = 20,
+) -> HyperparamResult:
+    """Sweep β1 (Fig. 7) or β2 (Fig. 8) and record NDCG@k per scenario."""
+    if param not in ("beta1", "beta2"):
+        raise ValueError("param must be 'beta1' or 'beta2'")
+    accum: dict[Scenario, list[list[float]]] = {sc: [] for sc in Scenario}
+    for seed in seeds:
+        experiment = prepare_experiment(dataset, target, seed=seed)
+        per_scenario_rows: dict[Scenario, list[float]] = {sc: [] for sc in Scenario}
+        for beta in grid:
+            method = make_method("MetaDPA", seed=seed, profile=profile)
+            overrides = {param: beta}
+            method.config = MetaDPAConfig(
+                **{
+                    **_config_kwargs(method.config),
+                    **overrides,
+                }
+            )
+            results = evaluate_prepared(method, experiment)
+            for scenario, eval_result in results.items():
+                per_scenario_rows[scenario].append(eval_result.ndcg_at([k])[k])
+        for scenario, row in per_scenario_rows.items():
+            accum[scenario].append(row)
+    result = HyperparamResult(
+        target=target, param=param, grid=list(grid), seeds=list(seeds), k=k
+    )
+    for scenario, rows in accum.items():
+        result.curves[scenario] = list(np.mean(np.asarray(rows), axis=0))
+    return result
+
+
+def _config_kwargs(config: MetaDPAConfig) -> dict:
+    """Dataclass fields of a config as a kwargs dict."""
+    from dataclasses import fields
+
+    return {f.name: getattr(config, f.name) for f in fields(config)}

@@ -1,0 +1,108 @@
+"""Figure 6: training time versus data size, per block.
+
+The paper measures one-epoch training time on Electronics → Books at 10%,
+20%, ..., 100% of the data and shows that block 1 (Dual-CVAE training)
+scales linearly with data size while blocks 2 (generation) and 3 (one epoch
+of preference meta-learning over a fixed-size batch) are constant in the
+item-dimension sense — their cost is bounded by the batch size, not the
+dataset (Section IV-D / V-C).
+
+We measure the same three quantities on CPU; absolute seconds differ from
+the paper's RTX 3090, but the scaling shape is hardware-independent.
+:meth:`ScalabilityResult.linear_fit` quantifies the block-1 linearity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cvae.model import CVAEConfig, DualCVAE
+from repro.cvae.trainer import DualCVAETrainer, TrainerConfig
+from repro.data.amazon import make_amazon_like_benchmark
+from repro.data.experiment import prepare_experiment
+from repro.experiments.registry import make_method
+from repro.utils.timing import Timer
+
+DEFAULT_FRACTIONS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@dataclass
+class ScalabilityResult:
+    """Per-fraction one-epoch timings of the three MetaDPA blocks."""
+
+    fractions: list[float]
+    block1_seconds: list[float] = field(default_factory=list)
+    block2_seconds: list[float] = field(default_factory=list)
+    block3_seconds: list[float] = field(default_factory=list)
+
+    def linear_fit(self, series: list[float] | None = None) -> tuple[float, float]:
+        """Least-squares (slope, r²) of a timing series against data size."""
+        y = np.asarray(series if series is not None else self.block1_seconds)
+        x = np.asarray(self.fractions[: y.size])
+        slope, intercept = np.polyfit(x, y, 1)
+        pred = slope * x + intercept
+        ss_res = float(((y - pred) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        return float(slope), r2
+
+    def format_table(self) -> str:
+        lines = ["===== Scalability (Fig. 6): one-epoch time vs data size ====="]
+        lines.append(
+            f"{'fraction':>8} {'block1 (s)':>12} {'block2 (s)':>12} {'block3 (s)':>12}"
+        )
+        for i, frac in enumerate(self.fractions):
+            lines.append(
+                f"{frac:>8.1f} {self.block1_seconds[i]:>12.4f} "
+                f"{self.block2_seconds[i]:>12.4f} {self.block3_seconds[i]:>12.4f}"
+            )
+        slope, r2 = self.linear_fit()
+        lines.append(f"block1 linear fit: slope={slope:.4f} s/fraction, r²={r2:.3f}")
+        return "\n".join(lines)
+
+
+def run_scalability(
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    seed: int = 0,
+    meta_batch_tasks: int = 16,
+) -> ScalabilityResult:
+    """Time one epoch of each MetaDPA block at several data-size fractions.
+
+    Block 1 trains the Electronics→Books Dual-CVAE for one epoch (cost grows
+    with the number of shared users and items).  Block 2 runs one generation
+    pass over a fixed batch of users.  Block 3 runs one MAML meta-step over
+    a fixed number of tasks.  Blocks 2–3 operate on fixed-size batches, so
+    their cost must stay flat as the dataset grows.
+    """
+    result = ScalabilityResult(fractions=list(fractions))
+    for fraction in fractions:
+        dataset = make_amazon_like_benchmark(seed=seed, fraction=fraction)
+        pair = dataset.pairs[("Electronics", "Books")]
+
+        trainer = DualCVAETrainer(
+            pair, trainer_config=TrainerConfig(epochs=1), seed=seed
+        )
+        with Timer() as t1:
+            trainer.train()
+        result.block1_seconds.append(t1.elapsed)
+
+        batch_users = pair.content_target[: min(32, pair.n_shared_users)]
+        with Timer() as t2:
+            trainer.model.generate_from_content(batch_users)
+        result.block2_seconds.append(t2.elapsed)
+
+        experiment = prepare_experiment(dataset, "Books", seed=seed)
+        method = make_method("MetaDPA-NoAug", seed=seed, profile="fast")
+        method.config = type(method.config)(
+            use_augmentation=False, meta_epochs=1, few_shot_views=False
+        )
+        # Time one meta-epoch over a fixed number of tasks.
+        experiment.ctx.warm_tasks.tasks = experiment.ctx.warm_tasks.tasks[
+            :meta_batch_tasks
+        ]
+        with Timer() as t3:
+            method.fit(experiment.ctx)
+        result.block3_seconds.append(t3.elapsed)
+    return result

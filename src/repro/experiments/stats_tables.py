@@ -1,0 +1,16 @@
+"""Tables I–II: dataset statistics of the generated benchmark."""
+
+from __future__ import annotations
+
+from repro.data.domain import MultiDomainDataset
+from repro.data.statistics import format_table_1, format_table_2
+
+
+def run_dataset_statistics(dataset: MultiDomainDataset) -> str:
+    """Render both statistics tables (source domains, target domains)."""
+    return (
+        "===== Table I: source domains =====\n"
+        + format_table_1(dataset)
+        + "\n\n===== Table II: target domains =====\n"
+        + format_table_2(dataset)
+    )

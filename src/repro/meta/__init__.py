@@ -1,0 +1,22 @@
+"""Preference meta-learning (paper Sec. IV-C).
+
+The preference model of Eq. (11) — content embedding layers feeding a
+multi-layer perceptron with a sigmoid head — is trained with MAML over user
+tasks.  MetaDPA's meta-training set contains the original task of every user
+*plus* k augmented views whose labels come from the Dual-CVAE generations;
+cold-start evaluation fine-tunes the meta-initialization on a task's support
+set and scores its query items.
+"""
+
+from repro.meta.model import PreferenceModel, PreferenceModelConfig
+from repro.meta.maml import MAML, MAMLConfig
+from repro.meta.trainer import MetaDPA, MetaDPAConfig
+
+__all__ = [
+    "PreferenceModel",
+    "PreferenceModelConfig",
+    "MAML",
+    "MAMLConfig",
+    "MetaDPA",
+    "MetaDPAConfig",
+]

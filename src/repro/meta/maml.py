@@ -1,0 +1,214 @@
+"""Model-agnostic meta-learning (Finn et al., 2017) over preference tasks.
+
+The inner loop locally adapts parameters on a task's support set (Eq. 1);
+the outer loop updates the meta-initialization from the query-set loss.  We
+use the first-order approximation (FOMAML): the query gradient evaluated at
+the adapted parameters is applied to the meta-parameters directly.  An
+optional MeLU-style restriction adapts only the decision (MLP) layers in the
+inner loop while embeddings stay global.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.meta.model import PreferenceModel
+from repro.nn.module import Grads, Params
+from repro.nn.optim import Adam, add_grads, clip_grad_norm
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class MAMLConfig:
+    """MAML hyper-parameters.
+
+    ``inner_lr`` is α of Eq. (1); ``local_only_decision`` restricts the
+    inner-loop update to the MLP decision layers (MeLU's scheme).
+    """
+
+    inner_lr: float = 0.05
+    inner_steps: int = 2
+    outer_lr: float = 1e-3
+    meta_batch_size: int = 16
+    grad_clip: float = 5.0
+    local_only_decision: bool = False
+
+    def __post_init__(self) -> None:
+        if self.inner_lr <= 0 or self.outer_lr <= 0:
+            raise ValueError("learning rates must be positive")
+        if self.inner_steps <= 0 or self.meta_batch_size <= 0:
+            raise ValueError("inner_steps and meta_batch_size must be positive")
+
+
+@dataclass(frozen=True)
+class TaskBatchItem:
+    """Materialized arrays for one task: contents and labels, support+query."""
+
+    support_user: np.ndarray
+    support_item: np.ndarray
+    support_labels: np.ndarray
+    query_user: np.ndarray
+    query_item: np.ndarray
+    query_labels: np.ndarray
+
+
+class MAML:
+    """First-order MAML driving a :class:`PreferenceModel`."""
+
+    def __init__(
+        self,
+        model: PreferenceModel,
+        config: MAMLConfig | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        self.model = model
+        self.config = config or MAMLConfig()
+        self._rng = ensure_rng(seed)
+        self.params: Params = model.init_params(self._rng)
+        self._optimizer = Adam(self.params, lr=self.config.outer_lr)
+        self._adaptable: set[str] | None = None
+        if self.config.local_only_decision:
+            self._adaptable = set(model.decision_params(self.params))
+
+    # ------------------------------------------------------------------
+    def adapt(self, item: TaskBatchItem, params: Params | None = None) -> Params:
+        """Inner loop: returns task-adapted fast weights (meta params untouched)."""
+        fast = dict(params if params is not None else self.params)
+        for _ in range(self.config.inner_steps):
+            _, grads = self.model.loss_and_grads(
+                fast, item.support_user, item.support_item, item.support_labels
+            )
+            for name, grad in grads.items():
+                if self._adaptable is not None and name not in self._adaptable:
+                    continue
+                fast[name] = fast[name] - self.config.inner_lr * grad
+        return fast
+
+    def meta_step(self, batch: Sequence[TaskBatchItem]) -> float:
+        """One outer-loop update over a batch of tasks; returns mean query loss."""
+        if not batch:
+            raise ValueError("empty task batch")
+        meta_grads: Grads = {}
+        total_loss = 0.0
+        for item in batch:
+            fast = self.adapt(item)
+            loss, grads = self.model.loss_and_grads(
+                fast, item.query_user, item.query_item, item.query_labels
+            )
+            total_loss += loss
+            add_grads(meta_grads, grads, scale=1.0 / len(batch))
+        clip_grad_norm(meta_grads, self.config.grad_clip)
+        self._optimizer.step(meta_grads)
+        return total_loss / len(batch)
+
+    def fit(
+        self,
+        tasks: Sequence[TaskBatchItem],
+        epochs: int,
+        shuffle: bool = True,
+    ) -> list[float]:
+        """Meta-train for ``epochs`` passes over ``tasks``; returns loss trace."""
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        history: list[float] = []
+        order = np.arange(len(tasks))
+        for _ in range(epochs):
+            if shuffle:
+                self._rng.shuffle(order)
+            epoch_loss = 0.0
+            n_batches = 0
+            bs = self.config.meta_batch_size
+            for start in range(0, len(order), bs):
+                batch = [tasks[i] for i in order[start : start + bs]]
+                epoch_loss += self.meta_step(batch)
+                n_batches += 1
+            history.append(epoch_loss / max(n_batches, 1))
+        return history
+
+    # ------------------------------------------------------------------
+    def finetune(self, item: TaskBatchItem, steps: int | None = None) -> Params:
+        """Meta-testing adaptation: like :meth:`adapt` with a step override."""
+        if steps is None:
+            return self.adapt(item)
+        fast = dict(self.params)
+        for _ in range(steps):
+            _, grads = self.model.loss_and_grads(
+                fast, item.support_user, item.support_item, item.support_labels
+            )
+            for name, grad in grads.items():
+                if self._adaptable is not None and name not in self._adaptable:
+                    continue
+                fast[name] = fast[name] - self.config.inner_lr * grad
+        return fast
+
+    def predict(
+        self,
+        user_content: np.ndarray,
+        item_content: np.ndarray,
+        params: Params | None = None,
+    ) -> np.ndarray:
+        """Score aligned (user, item) content rows with meta or fast weights."""
+        return self.model.predict(
+            params if params is not None else self.params, user_content, item_content
+        )
+
+
+def subsample_support(
+    task,
+    rng: np.random.Generator,
+    max_positives: int = 3,
+    neg_per_pos: int = 2,
+):
+    """Few-shot view of a task: a handful of support positives/negatives.
+
+    Cold-start meta-testing adapts on 1–4 ratings, while warm training tasks
+    carry much larger support sets.  Adding subsampled views to the
+    meta-training stream aligns the two regimes so the learned
+    initialization is good at *few-shot* adaptation.  Returns a new
+    :class:`repro.data.tasks.PreferenceTask` with the same query set.
+    """
+    from dataclasses import replace
+
+    pos_mask = task.support_labels > 0.5
+    positives = task.support_items[pos_mask]
+    negatives = task.support_items[~pos_mask]
+    if positives.size == 0:
+        return task
+    n_pos = min(max_positives, positives.size)
+    keep_pos = rng.choice(positives, size=n_pos, replace=False)
+    n_neg = min(neg_per_pos * n_pos, negatives.size)
+    keep_neg = (
+        rng.choice(negatives, size=n_neg, replace=False)
+        if n_neg > 0
+        else np.array([], dtype=int)
+    )
+    items = np.concatenate([keep_pos, keep_neg]).astype(int)
+    labels = np.concatenate([np.ones(n_pos), np.zeros(n_neg)])
+    return replace(task, support_items=items, support_labels=labels)
+
+
+def materialize_task(
+    user_content: np.ndarray,
+    item_content: np.ndarray,
+    user_row: int,
+    support_items: np.ndarray,
+    support_labels: np.ndarray,
+    query_items: np.ndarray,
+    query_labels: np.ndarray,
+) -> TaskBatchItem:
+    """Turn index-based task data into dense arrays for the model.
+
+    The user's content row is broadcast against each item's content row.
+    """
+    cu = user_content[user_row]
+    return TaskBatchItem(
+        support_user=np.repeat(cu[None, :], support_items.size, axis=0),
+        support_item=item_content[support_items],
+        support_labels=np.asarray(support_labels, dtype=float),
+        query_user=np.repeat(cu[None, :], query_items.size, axis=0),
+        query_item=item_content[query_items],
+        query_labels=np.asarray(query_labels, dtype=float),
+    )

@@ -1,0 +1,76 @@
+"""A minimal, from-scratch neural-network substrate on numpy.
+
+The paper's reference implementation uses PyTorch; this package provides the
+pieces MetaDPA actually needs, in a *pure functional* style:
+
+- every :class:`~repro.nn.module.Module` is a stateless description of a
+  computation.  Parameters live in plain ``dict[str, numpy.ndarray]`` objects
+  created by :meth:`Module.init_params`.
+- ``forward(params, x)`` returns ``(y, cache)`` and
+  ``backward(params, cache, dy)`` returns ``(dx, grads)`` where ``grads`` has
+  the same keys as ``params``.
+
+Keeping parameters external makes meta-learning (MAML fast weights),
+optimizers, and serialization straightforward: a fast-weight step is just
+``{k: p[k] - lr * g[k]}``.
+"""
+
+from repro.nn.init import kaiming_uniform, normal_init, xavier_uniform, zeros_init
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Relu,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn.losses import (
+    binary_cross_entropy,
+    gaussian_kl,
+    gaussian_kl_to_code,
+    info_nce,
+    mse_loss,
+)
+from repro.nn.module import Module, Sequential, mlp
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.grad_check import numerical_gradient, relative_error
+from repro.nn.serialization import load_params, params_equal, save_params
+from repro.nn.schedulers import CosineDecay, Scheduler, StepDecay, WarmupLinear
+
+__all__ = [
+    "Module",
+    "Sequential",
+    "mlp",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "LayerNorm",
+    "Relu",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "binary_cross_entropy",
+    "mse_loss",
+    "gaussian_kl",
+    "gaussian_kl_to_code",
+    "info_nce",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "clip_grad_norm",
+    "xavier_uniform",
+    "kaiming_uniform",
+    "normal_init",
+    "zeros_init",
+    "numerical_gradient",
+    "relative_error",
+    "save_params",
+    "load_params",
+    "params_equal",
+    "Scheduler",
+    "StepDecay",
+    "CosineDecay",
+    "WarmupLinear",
+]

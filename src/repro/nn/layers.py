@@ -1,0 +1,285 @@
+"""Core layers: Linear, Embedding, Dropout, LayerNorm and activations.
+
+Every layer follows the :class:`repro.nn.module.Module` contract; caches hold
+exactly what the backward pass needs, nothing more.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.nn.init import kaiming_uniform, normal_init, zeros_init
+from repro.nn.module import Grads, Module, Params
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with ``W: (in, out)``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear sizes must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.use_bias = bias
+
+    def init_params(self, rng: np.random.Generator) -> Params:
+        params = {"W": kaiming_uniform(rng, self.in_features, self.out_features)}
+        if self.use_bias:
+            params["b"] = zeros_init((self.out_features,))
+        return params
+
+    def forward(
+        self,
+        params: Params,
+        x: np.ndarray,
+        *,
+        rng: np.random.Generator | None = None,
+        train: bool = False,
+    ) -> tuple[np.ndarray, Any]:
+        y = x @ params["W"]
+        if self.use_bias:
+            y = y + params["b"]
+        return y, x
+
+    def backward(
+        self, params: Params, cache: Any, dy: np.ndarray
+    ) -> tuple[np.ndarray, Grads]:
+        x = cache
+        grads: Grads = {"W": x.T @ dy}
+        if self.use_bias:
+            grads["b"] = dy.sum(axis=0)
+        dx = dy @ params["W"].T
+        return dx, grads
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    Forward takes an integer array of shape ``(batch,)`` or ``(batch, k)``
+    and returns vectors of shape ``(batch, dim)`` or ``(batch, k, dim)``.
+    """
+
+    def __init__(self, num_embeddings: int, dim: int, std: float = 0.01):
+        if num_embeddings <= 0 or dim <= 0:
+            raise ValueError("Embedding sizes must be positive")
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.std = std
+
+    def init_params(self, rng: np.random.Generator) -> Params:
+        return {"E": normal_init(rng, (self.num_embeddings, self.dim), std=self.std)}
+
+    def forward(
+        self,
+        params: Params,
+        x: np.ndarray,
+        *,
+        rng: np.random.Generator | None = None,
+        train: bool = False,
+    ) -> tuple[np.ndarray, Any]:
+        idx = np.asarray(x, dtype=np.int64)
+        if idx.min(initial=0) < 0 or idx.max(initial=0) >= self.num_embeddings:
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings})"
+            )
+        return params["E"][idx], idx
+
+    def backward(
+        self, params: Params, cache: Any, dy: np.ndarray
+    ) -> tuple[np.ndarray, Grads]:
+        idx = cache
+        grad_e = np.zeros_like(params["E"])
+        np.add.at(grad_e, idx.reshape(-1), dy.reshape(-1, self.dim))
+        # Indices are not differentiable; return a zero gradient placeholder.
+        return np.zeros(idx.shape), {"E": grad_e}
+
+
+class Dropout(Module):
+    """Inverted dropout; identity when ``train=False`` or ``rng is None``."""
+
+    def __init__(self, p: float):
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+
+    def init_params(self, rng: np.random.Generator) -> Params:
+        return {}
+
+    def forward(
+        self,
+        params: Params,
+        x: np.ndarray,
+        *,
+        rng: np.random.Generator | None = None,
+        train: bool = False,
+    ) -> tuple[np.ndarray, Any]:
+        if not train or self.p == 0.0 or rng is None:
+            return x, None
+        keep = 1.0 - self.p
+        mask = (rng.random(x.shape) < keep) / keep
+        return x * mask, mask
+
+    def backward(
+        self, params: Params, cache: Any, dy: np.ndarray
+    ) -> tuple[np.ndarray, Grads]:
+        if cache is None:
+            return dy, {}
+        return dy * cache, {}
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learned gain and bias."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        self.dim = dim
+        self.eps = eps
+
+    def init_params(self, rng: np.random.Generator) -> Params:
+        return {"gamma": np.ones(self.dim), "beta": np.zeros(self.dim)}
+
+    def forward(
+        self,
+        params: Params,
+        x: np.ndarray,
+        *,
+        rng: np.random.Generator | None = None,
+        train: bool = False,
+    ) -> tuple[np.ndarray, Any]:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mu) * inv_std
+        y = params["gamma"] * x_hat + params["beta"]
+        return y, (x_hat, inv_std)
+
+    def backward(
+        self, params: Params, cache: Any, dy: np.ndarray
+    ) -> tuple[np.ndarray, Grads]:
+        x_hat, inv_std = cache
+        n = x_hat.shape[-1]
+        grads: Grads = {
+            "gamma": (dy * x_hat).sum(axis=tuple(range(dy.ndim - 1))),
+            "beta": dy.sum(axis=tuple(range(dy.ndim - 1))),
+        }
+        dxhat = dy * params["gamma"]
+        dx = (
+            dxhat
+            - dxhat.mean(axis=-1, keepdims=True)
+            - x_hat * (dxhat * x_hat).mean(axis=-1, keepdims=True)
+        ) * inv_std
+        return dx, grads
+
+
+class Relu(Module):
+    """Rectified linear activation."""
+
+    def init_params(self, rng: np.random.Generator) -> Params:
+        return {}
+
+    def forward(
+        self,
+        params: Params,
+        x: np.ndarray,
+        *,
+        rng: np.random.Generator | None = None,
+        train: bool = False,
+    ) -> tuple[np.ndarray, Any]:
+        mask = x > 0
+        return x * mask, mask
+
+    def backward(
+        self, params: Params, cache: Any, dy: np.ndarray
+    ) -> tuple[np.ndarray, Grads]:
+        return dy * cache, {}
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid, numerically stable in both tails."""
+
+    def init_params(self, rng: np.random.Generator) -> Params:
+        return {}
+
+    def forward(
+        self,
+        params: Params,
+        x: np.ndarray,
+        *,
+        rng: np.random.Generator | None = None,
+        train: bool = False,
+    ) -> tuple[np.ndarray, Any]:
+        y = sigmoid(x)
+        return y, y
+
+    def backward(
+        self, params: Params, cache: Any, dy: np.ndarray
+    ) -> tuple[np.ndarray, Grads]:
+        y = cache
+        return dy * y * (1.0 - y), {}
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def init_params(self, rng: np.random.Generator) -> Params:
+        return {}
+
+    def forward(
+        self,
+        params: Params,
+        x: np.ndarray,
+        *,
+        rng: np.random.Generator | None = None,
+        train: bool = False,
+    ) -> tuple[np.ndarray, Any]:
+        y = np.tanh(x)
+        return y, y
+
+    def backward(
+        self, params: Params, cache: Any, dy: np.ndarray
+    ) -> tuple[np.ndarray, Grads]:
+        y = cache
+        return dy * (1.0 - y * y), {}
+
+
+class Softmax(Module):
+    """Softmax over the last axis."""
+
+    def init_params(self, rng: np.random.Generator) -> Params:
+        return {}
+
+    def forward(
+        self,
+        params: Params,
+        x: np.ndarray,
+        *,
+        rng: np.random.Generator | None = None,
+        train: bool = False,
+    ) -> tuple[np.ndarray, Any]:
+        y = softmax(x)
+        return y, y
+
+    def backward(
+        self, params: Params, cache: Any, dy: np.ndarray
+    ) -> tuple[np.ndarray, Grads]:
+        y = cache
+        dot = (dy * y).sum(axis=-1, keepdims=True)
+        return y * (dy - dot), {}
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable sigmoid usable outside the layer API."""
+    out = np.empty_like(x, dtype=float)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax usable outside the layer API."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / ex.sum(axis=axis, keepdims=True)

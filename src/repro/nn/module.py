@@ -1,0 +1,160 @@
+"""Module base class and composition helpers.
+
+A :class:`Module` is a stateless computation description.  Parameters are
+plain dictionaries mapping parameter names to numpy arrays; this keeps
+fast-weight updates (MAML), optimizer state, and (de)serialization trivial.
+
+Contract
+--------
+``init_params(rng)``
+    returns a fresh ``dict[str, np.ndarray]``.
+``forward(params, x, *, rng=None, train=False)``
+    returns ``(y, cache)``; ``cache`` is opaque and consumed by ``backward``.
+``backward(params, cache, dy)``
+    returns ``(dx, grads)`` where ``grads`` has exactly the keys of
+    ``params`` (arrays of matching shape).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+Params = dict[str, np.ndarray]
+Grads = dict[str, np.ndarray]
+
+
+class Module:
+    """Base class for all stateless layers and networks."""
+
+    def init_params(self, rng: np.random.Generator) -> Params:
+        raise NotImplementedError
+
+    def forward(
+        self,
+        params: Params,
+        x: np.ndarray,
+        *,
+        rng: np.random.Generator | None = None,
+        train: bool = False,
+    ) -> tuple[np.ndarray, Any]:
+        raise NotImplementedError
+
+    def backward(
+        self, params: Params, cache: Any, dy: np.ndarray
+    ) -> tuple[np.ndarray, Grads]:
+        raise NotImplementedError
+
+    def __call__(
+        self,
+        params: Params,
+        x: np.ndarray,
+        *,
+        rng: np.random.Generator | None = None,
+        train: bool = False,
+    ) -> np.ndarray:
+        """Convenience inference-only forward that drops the cache."""
+        y, _ = self.forward(params, x, rng=rng, train=train)
+        return y
+
+
+class Sequential(Module):
+    """Chain of modules applied in order.
+
+    Parameter keys of child ``i`` are prefixed with ``"{i}."`` so that the
+    flattened dictionary stays collision-free, e.g. ``"0.W"``, ``"2.b"``.
+    """
+
+    def __init__(self, layers: Sequence[Module]):
+        self.layers = list(layers)
+
+    def init_params(self, rng: np.random.Generator) -> Params:
+        params: Params = {}
+        for i, layer in enumerate(self.layers):
+            for name, value in layer.init_params(rng).items():
+                params[f"{i}.{name}"] = value
+        return params
+
+    def _child_params(self, params: Params, i: int) -> Params:
+        prefix = f"{i}."
+        return {
+            name[len(prefix):]: value
+            for name, value in params.items()
+            if name.startswith(prefix)
+        }
+
+    def forward(
+        self,
+        params: Params,
+        x: np.ndarray,
+        *,
+        rng: np.random.Generator | None = None,
+        train: bool = False,
+    ) -> tuple[np.ndarray, Any]:
+        caches = []
+        out = x
+        for i, layer in enumerate(self.layers):
+            out, cache = layer.forward(
+                self._child_params(params, i), out, rng=rng, train=train
+            )
+            caches.append(cache)
+        return out, caches
+
+    def backward(
+        self, params: Params, cache: Any, dy: np.ndarray
+    ) -> tuple[np.ndarray, Grads]:
+        grads: Grads = {}
+        grad_out = dy
+        for i in reversed(range(len(self.layers))):
+            layer = self.layers[i]
+            grad_out, layer_grads = layer.backward(
+                self._child_params(params, i), cache[i], grad_out
+            )
+            for name, value in layer_grads.items():
+                grads[f"{i}.{name}"] = value
+        return grad_out, grads
+
+
+def mlp(
+    layer_sizes: Sequence[int],
+    activation: str = "relu",
+    out_activation: str | None = None,
+    dropout: float = 0.0,
+) -> Sequential:
+    """Build a standard multi-layer perceptron.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[in, hidden..., out]`` — at least two entries.
+    activation:
+        hidden activation, one of ``"relu"``, ``"tanh"``, ``"sigmoid"``.
+    out_activation:
+        optional activation after the last linear layer (``"sigmoid"``,
+        ``"softmax"``, ``"tanh"``, ``"relu"`` or ``None`` for linear output).
+    dropout:
+        dropout probability applied after each hidden activation.
+    """
+    from repro.nn.layers import Dropout, Linear, Relu, Sigmoid, Softmax, Tanh
+
+    if len(layer_sizes) < 2:
+        raise ValueError("mlp needs at least an input and an output size")
+    act_map = {"relu": Relu, "tanh": Tanh, "sigmoid": Sigmoid, "softmax": Softmax}
+    if activation not in act_map:
+        raise ValueError(f"unknown activation {activation!r}")
+    if out_activation is not None and out_activation not in act_map:
+        raise ValueError(f"unknown out_activation {out_activation!r}")
+
+    layers: list[Module] = []
+    n_linear = len(layer_sizes) - 1
+    for i in range(n_linear):
+        layers.append(Linear(layer_sizes[i], layer_sizes[i + 1]))
+        is_last = i == n_linear - 1
+        if not is_last:
+            layers.append(act_map[activation]())
+            if dropout > 0:
+                layers.append(Dropout(dropout))
+        elif out_activation is not None:
+            layers.append(act_map[out_activation]())
+    return Sequential(layers)

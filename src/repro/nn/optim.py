@@ -1,0 +1,127 @@
+"""Optimizers operating on parameter dictionaries.
+
+Optimizers mutate the parameter dict in place via :meth:`Optimizer.step` and
+keep their own state (momentum buffers, Adam moments) keyed by parameter name.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Grads, Params
+
+
+class Optimizer:
+    """Base optimizer over a parameter dictionary."""
+
+    def __init__(self, params: Params, lr: float, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight decay must be non-negative")
+        self.params = params
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def step(self, grads: Grads) -> None:
+        raise NotImplementedError
+
+    def _decayed(self, name: str, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            return grad + self.weight_decay * self.params[name]
+        return grad
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        params: Params,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self, grads: Grads) -> None:
+        for name, grad in grads.items():
+            grad = self._decayed(name, grad)
+            if self.momentum:
+                vel = self._velocity.get(name)
+                if vel is None:
+                    vel = np.zeros_like(grad)
+                vel = self.momentum * vel + grad
+                self._velocity[name] = vel
+                grad = vel
+            self.params[name] -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: Params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr, weight_decay)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, grads: Grads) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for name, grad in grads.items():
+            grad = self._decayed(name, grad)
+            m = self._m.get(name)
+            v = self._v.get(name)
+            if m is None:
+                m = np.zeros_like(grad)
+                v = np.zeros_like(grad)
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            self._m[name] = m
+            self._v[name] = v
+            m_hat = m / bias1
+            v_hat = v / bias2
+            self.params[name] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm(grads: Grads, max_norm: float) -> float:
+    """Clip gradients in place to a global L2 norm; returns the pre-clip norm."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    for grad in grads.values():
+        total += float((grad * grad).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for name in grads:
+            grads[name] = grads[name] * scale
+    return norm
+
+
+def add_grads(into: Grads, grads: Grads, scale: float = 1.0) -> None:
+    """Accumulate ``grads`` into ``into`` (in place), creating keys as needed."""
+    for name, grad in grads.items():
+        if name in into:
+            into[name] = into[name] + scale * grad
+        else:
+            into[name] = scale * grad

@@ -1,0 +1,91 @@
+"""Learning-rate schedules for the optimizers.
+
+Schedulers mutate ``optimizer.lr`` in place when :meth:`step` is called at
+the end of each epoch, matching the usual epoch-granularity usage.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+
+class Scheduler:
+    """Base class; subclasses compute the rate for a given epoch index."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def rate(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        new_lr = self.rate(self.epoch)
+        if new_lr <= 0:
+            raise ValueError("scheduler produced a non-positive learning rate")
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class StepDecay(Scheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def rate(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineDecay(Scheduler):
+    """Cosine annealing from the base rate down to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 1e-5):
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        if min_lr <= 0:
+            raise ValueError("min_lr must be positive")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def rate(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        cos = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cos
+
+
+class WarmupLinear(Scheduler):
+    """Linear warmup to the base rate, then linear decay to ``min_lr``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_epochs: int,
+        total_epochs: int,
+        min_lr: float = 1e-5,
+    ):
+        super().__init__(optimizer)
+        if warmup_epochs < 0 or total_epochs <= warmup_epochs:
+            raise ValueError("need 0 <= warmup_epochs < total_epochs")
+        self.warmup_epochs = warmup_epochs
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def rate(self, epoch: int) -> float:
+        if self.warmup_epochs and epoch <= self.warmup_epochs:
+            return self.base_lr * epoch / self.warmup_epochs
+        span = self.total_epochs - self.warmup_epochs
+        progress = min((epoch - self.warmup_epochs) / span, 1.0)
+        return self.base_lr + (self.min_lr - self.base_lr) * progress

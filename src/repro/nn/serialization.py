@@ -1,0 +1,53 @@
+"""Saving and loading parameter dictionaries.
+
+Parameters are plain ``dict[str, ndarray]`` objects, so persistence is a
+thin wrapper around ``numpy.savez``: the archive's keys are the parameter
+names (dots are legal in npz keys).  A small JSON header can carry model
+configuration alongside the weights.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Params
+
+_CONFIG_KEY = "__config_json__"
+
+
+def save_params(
+    path: str | Path, params: Params, config: dict | None = None
+) -> None:
+    """Write a parameter dict (and optional JSON-able config) to ``path``.
+
+    The suffix ``.npz`` is appended by numpy when missing.
+    """
+    payload: dict[str, np.ndarray] = dict(params)
+    if config is not None:
+        payload[_CONFIG_KEY] = np.frombuffer(
+            json.dumps(config, sort_keys=True).encode(), dtype=np.uint8
+        )
+    np.savez(Path(path), **payload)
+
+
+def load_params(path: str | Path) -> tuple[Params, dict | None]:
+    """Read back ``(params, config)`` written by :func:`save_params`."""
+    with np.load(Path(path)) as archive:
+        params: Params = {}
+        config = None
+        for name in archive.files:
+            if name == _CONFIG_KEY:
+                config = json.loads(archive[name].tobytes().decode())
+            else:
+                params[name] = archive[name]
+    return params, config
+
+
+def params_equal(a: Params, b: Params, atol: float = 0.0) -> bool:
+    """Whether two parameter dicts have identical keys and close values."""
+    if set(a) != set(b):
+        return False
+    return all(np.allclose(a[name], b[name], atol=atol) for name in a)

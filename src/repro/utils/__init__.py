@@ -1,0 +1,7 @@
+"""Shared utilities: reproducible RNG handling, timing, batching."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.batching import iter_batches
+
+__all__ = ["ensure_rng", "spawn_rngs", "Timer", "iter_batches"]

@@ -1,0 +1,41 @@
+"""Mini-batch iteration over index arrays."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def iter_batches(
+    n: int,
+    batch_size: int,
+    rng: int | np.random.Generator | None = None,
+    shuffle: bool = True,
+    drop_last: bool = False,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n)`` in batches of ``batch_size``.
+
+    Parameters
+    ----------
+    n:
+        number of samples.
+    batch_size:
+        maximum batch size (the final batch may be smaller unless
+        ``drop_last``).
+    rng:
+        randomness source for shuffling; deterministic order when
+        ``shuffle=False``.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(n)
+    if shuffle:
+        ensure_rng(rng).shuffle(order)
+    for start in range(0, n, batch_size):
+        batch = order[start : start + batch_size]
+        if drop_last and batch.size < batch_size:
+            return
+        yield batch

@@ -1,0 +1,28 @@
+"""Reproducible random-number-generator plumbing.
+
+Every stochastic component in the repository takes either a seed or a
+``numpy.random.Generator``.  These helpers normalize between the two and
+derive independent child generators, so a single experiment seed determines
+the entire run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce a seed / generator / None into a ``numpy.random.Generator``."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_rngs(rng: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    parent = ensure_rng(rng)
+    return [np.random.default_rng(seed) for seed in parent.integers(0, 2**63 - 1, size=n)]

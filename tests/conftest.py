@@ -1,0 +1,49 @@
+"""Shared fixtures: a small benchmark dataset reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.amazon import BenchmarkScale, make_amazon_like_benchmark
+from repro.data.experiment import prepare_experiment
+from repro.data.generator import DomainSpec, GeneratorConfig, SyntheticMultiDomainGenerator
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> GeneratorConfig:
+    """Small generator config: quick to sample, still structured."""
+    return GeneratorConfig(latent_dim=4, vocab_size=60, n_topics=5, review_length=10)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_config):
+    """A 2-source / 1-target dataset for fast unit tests."""
+    generator = SyntheticMultiDomainGenerator(tiny_config, seed=7)
+    sources = [
+        DomainSpec(name="SrcA", n_users=60, n_items=50, shared_user_frac=0.5),
+        DomainSpec(name="SrcB", n_users=50, n_items=40, shared_user_frac=0.4),
+    ]
+    targets = [
+        DomainSpec(name="Tgt", n_users=80, n_items=60, is_target=True, cold_user_frac=0.3)
+    ]
+    return generator.generate(sources=sources, targets=targets)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """The five-domain Amazon-like benchmark at reduced scale."""
+    return make_amazon_like_benchmark(
+        scale=BenchmarkScale(user_base=120, item_base=80), seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_experiment(bench_dataset):
+    """A prepared experiment on the Books target of the small benchmark."""
+    return prepare_experiment(bench_dataset, "Books", seed=0)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,189 @@
+"""Synthetic data substrate: vocabulary, generator, domains, statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.domain import align_shared_users
+from repro.data.generator import DomainSpec, GeneratorConfig, SyntheticMultiDomainGenerator
+from repro.data.statistics import domain_statistics, format_table_1, format_table_2, pair_statistics
+from repro.data.vocab import ReviewGenerator, latent_to_topics, make_vocabulary
+
+
+class TestVocabulary:
+    def test_topic_word_rows_are_distributions(self):
+        vocab = make_vocabulary(size=50, n_topics=4, rng=0)
+        np.testing.assert_allclose(vocab.topic_word.sum(axis=1), 1.0, atol=1e-9)
+        assert (vocab.topic_word >= 0).all()
+
+    def test_word_forms(self):
+        vocab = make_vocabulary(size=10, n_topics=2, rng=0)
+        assert vocab.words()[0] == "w0000"
+        assert len(vocab.words()) == 10
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            make_vocabulary(size=3, n_topics=5, rng=0)
+
+
+class TestReviewGenerator:
+    def setup_method(self):
+        self.vocab = make_vocabulary(size=40, n_topics=4, rng=1)
+        self.gen = ReviewGenerator(self.vocab, review_length=20)
+
+    def test_review_is_count_vector(self):
+        topics = np.full(4, 0.25)
+        review = self.gen.sample_review(topics, topics, np.random.default_rng(0))
+        assert review.shape == (40,)
+        assert review.sum() == 20
+        assert (review >= 0).all()
+
+    def test_word_distribution_normalized(self):
+        topics = np.array([0.7, 0.1, 0.1, 0.1])
+        probs = self.gen.word_distribution(topics, topics)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_item_topics_shift_distribution(self):
+        t_a = np.array([1.0, 0.0, 0.0, 0.0])
+        t_b = np.array([0.0, 0.0, 0.0, 1.0])
+        user = np.full(4, 0.25)
+        pa = self.gen.word_distribution(t_a, user)
+        pb = self.gen.word_distribution(t_b, user)
+        assert np.abs(pa - pb).sum() > 0.1
+
+    def test_invalid_mixtures(self):
+        with pytest.raises(ValueError):
+            ReviewGenerator(self.vocab, user_mix=0.8, noise_mix=0.5)
+        with pytest.raises(ValueError):
+            ReviewGenerator(self.vocab, user_mix=-0.1)
+
+
+class TestLatentToTopics:
+    def test_rows_are_distributions(self):
+        latent = np.random.default_rng(0).normal(size=(6, 8))
+        topics = latent_to_topics(latent, 5)
+        assert topics.shape == (6, 5)
+        np.testing.assert_allclose(topics.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_single_vector(self):
+        topics = latent_to_topics(np.zeros(8), 5)
+        assert topics.shape == (5,)
+        np.testing.assert_allclose(topics, 0.2)
+
+    def test_deterministic(self):
+        latent = np.random.default_rng(1).normal(size=(3, 6))
+        np.testing.assert_array_equal(
+            latent_to_topics(latent, 4), latent_to_topics(latent, 4)
+        )
+
+
+class TestDomainSpecValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            DomainSpec(name="x", n_users=0, n_items=10)
+        with pytest.raises(ValueError):
+            DomainSpec(name="x", n_users=10, n_items=10, cold_user_frac=1.0)
+        with pytest.raises(ValueError):
+            DomainSpec(name="x", n_users=10, n_items=10, mean_interactions=2)
+        with pytest.raises(ValueError):
+            DomainSpec(name="x", n_users=10, n_items=10, shared_user_frac=1.5)
+
+
+class TestGenerator:
+    def test_shapes_and_ranges(self, tiny_dataset):
+        target = tiny_dataset.targets["Tgt"]
+        assert target.ratings.shape == (80, 60)
+        assert set(np.unique(target.ratings)) <= {0.0, 1.0}
+        assert target.user_content.shape[0] == 80
+        # L1 normalization of content rows.
+        sums = target.user_content.sum(axis=1)
+        np.testing.assert_allclose(sums[sums > 0], 1.0, atol=1e-9)
+
+    def test_every_user_has_interactions(self, tiny_dataset):
+        for domain in (*tiny_dataset.sources.values(), *tiny_dataset.targets.values()):
+            assert (domain.user_degree() >= 1).all()
+
+    def test_cold_users_exist(self, tiny_dataset):
+        degrees = tiny_dataset.targets["Tgt"].user_degree()
+        assert (degrees < 5).sum() >= 5
+        assert (degrees >= 5).sum() >= 20
+
+    def test_shared_users_have_common_ids(self, tiny_dataset):
+        pair = tiny_dataset.pairs[("SrcA", "Tgt")]
+        assert pair.n_shared_users > 0
+        src_ids = set(tiny_dataset.sources["SrcA"].user_ids.tolist())
+        tgt_ids = set(tiny_dataset.targets["Tgt"].user_ids.tolist())
+        assert set(pair.shared_user_ids.tolist()) <= (src_ids & tgt_ids)
+
+    def test_shared_factor_memoized(self, tiny_config):
+        gen = SyntheticMultiDomainGenerator(tiny_config, seed=0)
+        f1 = gen._shared_factor(42)
+        f2 = gen._shared_factor(42)
+        assert f1 is f2
+
+    def test_determinism(self, tiny_config):
+        def build():
+            g = SyntheticMultiDomainGenerator(tiny_config, seed=11)
+            return g.generate(
+                sources=[DomainSpec(name="S", n_users=30, n_items=25)],
+                targets=[DomainSpec(name="T", n_users=40, n_items=30, is_target=True)],
+            )
+
+        a, b = build(), build()
+        np.testing.assert_array_equal(a.targets["T"].ratings, b.targets["T"].ratings)
+        np.testing.assert_array_equal(
+            a.targets["T"].user_content, b.targets["T"].user_content
+        )
+
+    def test_target_required(self, tiny_config):
+        gen = SyntheticMultiDomainGenerator(tiny_config, seed=0)
+        with pytest.raises(ValueError):
+            gen.generate(sources=[], targets=[])
+        with pytest.raises(ValueError):
+            gen.generate(
+                sources=[], targets=[DomainSpec(name="T", n_users=30, n_items=20)]
+            )
+
+    def test_review_bags_recorded(self, tiny_dataset):
+        domain = tiny_dataset.targets["Tgt"]
+        assert domain.has_reviews()
+        assert domain.review_counts.shape[0] == domain.n_ratings
+        # Review bags reproduce the stored content matrices.
+        uc, ic = domain.build_content()
+        np.testing.assert_allclose(uc, domain.user_content, atol=1e-9)
+        np.testing.assert_allclose(ic, domain.item_content, atol=1e-9)
+
+
+class TestAlignSharedUsers:
+    def test_rows_aligned(self, tiny_dataset):
+        source = tiny_dataset.sources["SrcA"]
+        target = tiny_dataset.targets["Tgt"]
+        pair = align_shared_users(source, target)
+        for i, uid in enumerate(pair.shared_user_ids[:5]):
+            src_row = np.flatnonzero(source.user_ids == uid)[0]
+            tgt_row = np.flatnonzero(target.user_ids == uid)[0]
+            np.testing.assert_array_equal(
+                pair.ratings_source[i], source.ratings[src_row]
+            )
+            np.testing.assert_array_equal(
+                pair.ratings_target[i], target.ratings[tgt_row]
+            )
+
+
+class TestStatistics:
+    def test_domain_stats(self, tiny_dataset):
+        stats = domain_statistics(tiny_dataset.targets["Tgt"])
+        assert stats.n_users == 80
+        assert 0.0 < stats.sparsity < 1.0
+        assert str(stats.n_ratings) in stats.as_row()
+
+    def test_pair_stats(self, tiny_dataset):
+        stats = pair_statistics(tiny_dataset, "SrcA")
+        assert stats.shared_users["Tgt"] == tiny_dataset.pairs[("SrcA", "Tgt")].n_shared_users
+
+    def test_table_rendering(self, tiny_dataset):
+        t1 = format_table_1(tiny_dataset)
+        t2 = format_table_2(tiny_dataset)
+        assert "SrcA" in t1 and "SrcB" in t1
+        assert "Tgt" in t2

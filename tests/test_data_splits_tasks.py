@@ -1,0 +1,179 @@
+"""Splits, task construction and negative sampling: protocol invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.negative_sampling import build_eval_instances
+from repro.data.splits import Scenario, make_cold_start_splits
+from repro.data.tasks import TaskConfig, _split_support_query, build_task_set
+
+
+@pytest.fixture(scope="module")
+def target(tiny_dataset):
+    return tiny_dataset.targets["Tgt"]
+
+
+@pytest.fixture(scope="module")
+def splits(target):
+    return make_cold_start_splits(target, rng=0)
+
+
+class TestSplits:
+    def test_partitions_are_disjoint_and_complete(self, target, splits):
+        users = np.concatenate([splits.existing_users, splits.new_users])
+        assert sorted(users.tolist()) == list(range(target.n_users))
+        items = np.concatenate([splits.existing_items, splits.new_items])
+        assert sorted(items.tolist()) == list(range(target.n_items))
+
+    def test_new_users_are_low_degree(self, target, splits):
+        degrees = target.user_degree()
+        assert (degrees[splits.new_users] < 5).all()
+        assert (degrees[splits.existing_users] >= 5).all()
+
+    def test_low_degree_items_always_cold(self, target, splits):
+        degrees = target.item_degree()
+        low = np.flatnonzero(degrees < 5)
+        assert set(low.tolist()) <= set(splits.new_items.tolist())
+
+    def test_cold_item_fraction_respected(self, target):
+        sp = make_cold_start_splits(target, cold_item_frac=0.4, rng=0)
+        expected = round(0.4 * target.n_items)
+        assert abs(sp.new_items.size - expected) <= max(
+            expected, (target.item_degree() < 5).sum()
+        ) - min(expected, (target.item_degree() < 5).sum()) + 1
+
+    def test_split_seed_changes_cold_items(self, target):
+        a = make_cold_start_splits(target, rng=1)
+        b = make_cold_start_splits(target, rng=2)
+        assert set(a.new_items.tolist()) != set(b.new_items.tolist())
+
+    def test_scenario_selectors(self, splits):
+        assert splits.users_for(Scenario.WARM) is splits.existing_users
+        assert splits.users_for(Scenario.C_U) is splits.new_users
+        assert splits.items_for(Scenario.C_I) is splits.new_items
+        assert splits.items_for(Scenario.C_U) is splits.existing_items
+
+    def test_invalid_fraction(self, target):
+        with pytest.raises(ValueError):
+            make_cold_start_splits(target, cold_item_frac=0.0)
+
+
+class TestTaskConstruction:
+    def test_all_scenarios_produce_tasks(self, target, splits):
+        for scenario in Scenario:
+            tasks = build_task_set(target, splits, scenario, rng=0)
+            assert len(tasks) > 0, scenario
+
+    def test_task_items_within_scenario_block(self, target, splits):
+        for scenario in Scenario:
+            allowed = set(splits.items_for(scenario).tolist())
+            users = set(splits.users_for(scenario).tolist())
+            for task in build_task_set(target, splits, scenario, rng=0):
+                assert task.user_row in users
+                items = np.concatenate([task.support_items, task.query_items])
+                assert set(items.tolist()) <= allowed
+
+    def test_positives_are_true_interactions(self, target, splits):
+        tasks = build_task_set(target, splits, Scenario.WARM, rng=0)
+        for task in tasks:
+            sup_pos = task.support_items[task.support_labels > 0.5]
+            qry_pos = task.query_items[task.query_labels > 0.5]
+            for item in np.concatenate([sup_pos, qry_pos]):
+                assert target.ratings[task.user_row, int(item)] == 1.0
+
+    def test_negatives_are_non_interactions(self, target, splits):
+        tasks = build_task_set(target, splits, Scenario.WARM, rng=0)
+        for task in tasks:
+            sup_neg = task.support_items[task.support_labels < 0.5]
+            for item in sup_neg:
+                assert target.ratings[task.user_row, int(item)] == 0.0
+
+    def test_support_and_query_nonempty_positives(self, target, splits):
+        for scenario in Scenario:
+            for task in build_task_set(target, splits, scenario, rng=0):
+                assert (task.support_labels > 0.5).sum() >= 1
+                assert (task.query_labels > 0.5).sum() >= 1
+
+    def test_no_item_in_both_support_and_query(self, target, splits):
+        tasks = build_task_set(target, splits, Scenario.WARM, rng=0)
+        for task in tasks:
+            overlap = set(task.support_items.tolist()) & set(task.query_items.tolist())
+            assert not overlap
+
+    def test_max_positives_cap(self, target, splits):
+        config = TaskConfig(max_positives=4)
+        tasks = build_task_set(target, splits, Scenario.WARM, config=config, rng=0)
+        for task in tasks:
+            n_pos = (task.support_labels > 0.5).sum() + (task.query_labels > 0.5).sum()
+            assert n_pos <= 4
+
+    def test_with_labels_rewrites_labels_only(self, target, splits):
+        task = build_task_set(target, splits, Scenario.WARM, rng=0).tasks[0]
+        fake = np.linspace(0, 1, target.n_items)
+        aug = task.with_labels(fake)
+        np.testing.assert_array_equal(aug.support_items, task.support_items)
+        np.testing.assert_allclose(aug.support_labels, fake[task.support_items])
+        np.testing.assert_allclose(aug.query_labels, fake[task.query_items])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TaskConfig(support_frac=0.0)
+        with pytest.raises(ValueError):
+            TaskConfig(min_positives=1)
+        with pytest.raises(ValueError):
+            TaskConfig(n_neg_per_pos=-1)
+
+    @given(n_pos=st.integers(2, 30), n_neg=st.integers(0, 60), frac=st.floats(0.1, 0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_split_support_query_properties(self, n_pos, n_neg, frac):
+        rng = np.random.default_rng(0)
+        positives = np.arange(n_pos)
+        negatives = np.arange(100, 100 + n_neg)
+        task = _split_support_query(0, positives, negatives, frac, rng)
+        # Conservation: every input item appears exactly once.
+        all_items = np.concatenate([task.support_items, task.query_items])
+        assert sorted(all_items.tolist()) == sorted(
+            np.concatenate([positives, negatives]).tolist()
+        )
+        # At least one positive on each side.
+        assert (task.support_labels > 0.5).sum() >= 1
+        assert (task.query_labels > 0.5).sum() >= 1
+
+
+class TestNegativeSampling:
+    def test_instances_well_formed(self, target, splits):
+        tasks = build_task_set(target, splits, Scenario.WARM, rng=0)
+        instances = build_eval_instances(target, splits, Scenario.WARM, tasks, rng=0)
+        assert instances
+        for inst in instances:
+            # The positive is a held-out query positive, truly interacted.
+            assert target.ratings[inst.user_row, inst.pos_item] == 1.0
+            # Negatives never interacted with this user anywhere.
+            for item in inst.neg_items:
+                assert target.ratings[inst.user_row, int(item)] == 0.0
+            assert inst.pos_item not in set(inst.neg_items.tolist())
+
+    def test_candidates_layout(self, target, splits):
+        tasks = build_task_set(target, splits, Scenario.WARM, rng=0)
+        inst = build_eval_instances(target, splits, Scenario.WARM, tasks, rng=0)[0]
+        assert inst.candidates[0] == inst.pos_item
+        assert inst.labels[0] == 1.0
+        assert inst.labels[1:].sum() == 0.0
+
+    def test_negative_count_respects_pool(self, target, splits):
+        tasks = build_task_set(target, splits, Scenario.C_UI, rng=0)
+        instances = build_eval_instances(
+            target, splits, Scenario.C_UI, tasks, n_negatives=99, rng=0
+        )
+        max_pool = splits.new_items.size
+        for inst in instances:
+            assert inst.neg_items.size <= min(99, max_pool)
+
+    def test_invalid_negatives(self, target, splits):
+        tasks = build_task_set(target, splits, Scenario.WARM, rng=0)
+        with pytest.raises(ValueError):
+            build_eval_instances(target, splits, Scenario.WARM, tasks, n_negatives=0)

@@ -1,0 +1,130 @@
+"""Domain container invariants and the single-source special case."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.domain import Domain, DomainPair, MultiDomainDataset
+from repro.data.experiment import prepare_experiment
+from repro.data.generator import DomainSpec, GeneratorConfig, SyntheticMultiDomainGenerator
+from repro.data.splits import Scenario
+from repro.eval.protocol import evaluate_prepared
+from repro.meta import MetaDPA, MetaDPAConfig
+
+
+def _minimal_domain(n_users=4, n_items=3) -> Domain:
+    rng = np.random.default_rng(0)
+    return Domain(
+        name="D",
+        ratings=(rng.random((n_users, n_items)) < 0.5).astype(float),
+        user_content=rng.random((n_users, 6)),
+        item_content=rng.random((n_items, 6)),
+        user_ids=np.arange(n_users),
+    )
+
+
+class TestDomainValidation:
+    def test_shape_mismatches_rejected(self):
+        domain = _minimal_domain()
+        with pytest.raises(ValueError):
+            Domain(
+                name="bad",
+                ratings=domain.ratings,
+                user_content=domain.user_content[:2],
+                item_content=domain.item_content,
+                user_ids=domain.user_ids,
+            )
+        with pytest.raises(ValueError):
+            Domain(
+                name="bad",
+                ratings=domain.ratings,
+                user_content=domain.user_content,
+                item_content=domain.item_content[:1],
+                user_ids=domain.user_ids,
+            )
+        with pytest.raises(ValueError):
+            Domain(
+                name="bad",
+                ratings=domain.ratings,
+                user_content=domain.user_content,
+                item_content=domain.item_content,
+                user_ids=np.arange(99),
+            )
+
+    def test_interaction_accessors(self):
+        domain = _minimal_domain()
+        for user in range(domain.n_users):
+            items = domain.user_interactions(user)
+            assert (domain.ratings[user, items] == 1.0).all()
+        for item in range(domain.n_items):
+            users = domain.item_interactions(item)
+            assert (domain.ratings[users, item] == 1.0).all()
+
+    def test_sparsity_consistent(self):
+        domain = _minimal_domain()
+        assert domain.sparsity == pytest.approx(
+            1.0 - domain.n_ratings / domain.ratings.size
+        )
+
+    def test_build_content_without_reviews_raises(self):
+        with pytest.raises(ValueError):
+            _minimal_domain().build_content()
+
+    def test_with_content_copies(self, tiny_dataset):
+        domain = tiny_dataset.targets["Tgt"]
+        new_uc = np.zeros_like(domain.user_content)
+        copy = domain.with_content(new_uc, domain.item_content)
+        assert copy is not domain
+        np.testing.assert_array_equal(copy.user_content, new_uc)
+        np.testing.assert_array_equal(copy.ratings, domain.ratings)
+        assert copy.has_reviews() == domain.has_reviews()
+
+
+class TestDomainPairValidation:
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DomainPair(
+                source_name="s",
+                target_name="t",
+                shared_user_ids=np.arange(3),
+                ratings_source=np.zeros((2, 4)),
+                ratings_target=np.zeros((3, 4)),
+                content_source=np.zeros((3, 5)),
+                content_target=np.zeros((3, 5)),
+            )
+
+
+class TestMultiDomainDataset:
+    def test_pairs_for_unknown_target(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            tiny_dataset.pairs_for_target("missing")
+
+    def test_pairs_sorted_by_source(self, bench_dataset):
+        pairs = bench_dataset.pairs_for_target("Books")
+        names = [p.source_name for p in pairs]
+        assert names == sorted(names)
+
+
+class TestSingleSourceSpecialCase:
+    """The paper: single-source adaptation is a special case of multi-source."""
+
+    @pytest.fixture(scope="class")
+    def single_source_dataset(self):
+        config = GeneratorConfig(latent_dim=4, vocab_size=60, n_topics=5, review_length=10)
+        generator = SyntheticMultiDomainGenerator(config, seed=5)
+        return generator.generate(
+            sources=[DomainSpec(name="OnlySrc", n_users=60, n_items=50, shared_user_frac=0.6)],
+            targets=[
+                DomainSpec(
+                    name="Tgt", n_users=80, n_items=60, is_target=True, cold_user_frac=0.3
+                )
+            ],
+        )
+
+    def test_metadpa_runs_with_one_source(self, single_source_dataset):
+        experiment = prepare_experiment(single_source_dataset, "Tgt", seed=0)
+        method = MetaDPA(MetaDPAConfig(cvae_epochs=20, meta_epochs=1), seed=0)
+        results = evaluate_prepared(method, experiment)
+        assert method.augmented is not None and method.augmented.k == 1
+        assert results[Scenario.WARM].metrics.n_trials > 0

@@ -1,0 +1,122 @@
+"""Leak-freedom guarantees of the prepared experiment bundle.
+
+These tests pin the information rules that make the evaluation honest; they
+were added after catching three real leaks during development (training on
+query positives, popularity counts over hidden ratings, and review text of
+future interactions appearing in content).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.experiment import prepare_experiment
+from repro.data.splits import Scenario
+
+
+@pytest.fixture(scope="module")
+def experiment(bench_dataset):
+    return prepare_experiment(bench_dataset, "Books", seed=0)
+
+
+class TestRatingVisibility:
+    def test_train_ratings_subset_of_true_ratings(self, experiment):
+        extra = (experiment.ctx.train_ratings > 0) & (experiment.domain.ratings == 0)
+        assert not extra.any()
+
+    def test_no_query_positive_visible(self, experiment):
+        visible = experiment.ctx.train_ratings
+        for tasks in experiment.task_sets.values():
+            for task in tasks:
+                for item in task.query_items[task.query_labels > 0.5]:
+                    assert visible[task.user_row, int(item)] == 0.0
+
+    def test_new_user_and_item_blocks_hidden(self, experiment):
+        visible = experiment.ctx.train_ratings
+        assert visible[experiment.splits.new_users].sum() == 0.0
+        assert visible[:, experiment.splits.new_items].sum() == 0.0
+
+    def test_warm_support_positives_visible(self, experiment):
+        visible = experiment.ctx.train_ratings
+        task = experiment.task_sets[Scenario.WARM].tasks[0]
+        positives = task.support_items[task.support_labels > 0.5]
+        assert all(visible[task.user_row, int(i)] == 1.0 for i in positives)
+
+
+class TestContentVisibility:
+    def test_eval_positive_reviews_removed(self, experiment, bench_dataset):
+        original = bench_dataset.targets["Books"]
+        adjusted = experiment.domain
+        # Content differs from the all-reviews version for evaluated users.
+        task = experiment.task_sets[Scenario.WARM].tasks[0]
+        assert not np.allclose(
+            original.user_content[task.user_row], adjusted.user_content[task.user_row]
+        )
+
+    def test_content_matches_exclusion_rebuild(self, experiment, bench_dataset):
+        original = bench_dataset.targets["Books"]
+        exclude = set()
+        for tasks in experiment.task_sets.values():
+            for task in tasks:
+                for item in task.query_items[task.query_labels > 0.5]:
+                    exclude.add((task.user_row, int(item)))
+        uc, ic = original.build_content(exclude)
+        np.testing.assert_allclose(uc, experiment.domain.user_content)
+        np.testing.assert_allclose(ic, experiment.domain.item_content)
+
+
+class TestPairRebuild:
+    def test_pair_targets_use_visible_ratings(self, experiment):
+        visible = experiment.ctx.train_ratings
+        tgt_index = {
+            uid: row for row, uid in enumerate(experiment.domain.user_ids)
+        }
+        for pair in experiment.dataset.pairs_for_target("Books"):
+            for i, uid in enumerate(pair.shared_user_ids):
+                np.testing.assert_array_equal(
+                    pair.ratings_target[i], visible[tgt_index[int(uid)]]
+                )
+
+    def test_pairs_exclude_new_users(self, experiment):
+        existing = set(experiment.splits.existing_users.tolist())
+        tgt_index = {
+            uid: row for row, uid in enumerate(experiment.domain.user_ids)
+        }
+        for pair in experiment.dataset.pairs_for_target("Books"):
+            rows = {tgt_index[int(uid)] for uid in pair.shared_user_ids}
+            assert rows <= existing
+
+    def test_other_target_pairs_untouched(self, experiment, bench_dataset):
+        for key, pair in experiment.dataset.pairs.items():
+            if key[1] != "Books":
+                assert pair is bench_dataset.pairs[key]
+
+
+class TestExperimentStructure:
+    def test_all_scenarios_present(self, experiment):
+        assert set(experiment.task_sets) == set(Scenario)
+        assert set(experiment.instances) == set(Scenario)
+
+    def test_instances_align_with_tasks(self, experiment):
+        for scenario, instances in experiment.instances.items():
+            users_with_tasks = {t.user_row for t in experiment.task_sets[scenario]}
+            for inst in instances:
+                assert inst.user_row in users_with_tasks
+
+    def test_different_seeds_give_different_splits(self, bench_dataset):
+        a = prepare_experiment(bench_dataset, "Books", seed=0)
+        b = prepare_experiment(bench_dataset, "Books", seed=1)
+        assert set(a.splits.new_items.tolist()) != set(b.splits.new_items.tolist())
+
+    def test_same_seed_reproducible(self, bench_dataset):
+        a = prepare_experiment(bench_dataset, "Books", seed=5)
+        b = prepare_experiment(bench_dataset, "Books", seed=5)
+        np.testing.assert_array_equal(a.ctx.train_ratings, b.ctx.train_ratings)
+        assert [t.user_row for t in a.task_sets[Scenario.C_U]] == [
+            t.user_row for t in b.task_sets[Scenario.C_U]
+        ]
+
+    def test_unknown_target_raises(self, bench_dataset):
+        with pytest.raises(KeyError):
+            prepare_experiment(bench_dataset, "Nope", seed=0)

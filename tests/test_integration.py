@@ -1,0 +1,136 @@
+"""Integration: every registered method through the full pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.interface import FitContext, training_visibility
+from repro.data.experiment import prepare_experiment
+from repro.data.splits import Scenario
+from repro.eval.protocol import evaluate_prepared
+from repro.experiments import make_method, method_names
+
+
+@pytest.fixture(scope="module")
+def experiment(bench_dataset):
+    return prepare_experiment(bench_dataset, "CDs", seed=1)
+
+
+class TestEveryMethodEndToEnd:
+    @pytest.mark.parametrize("name", sorted(method_names()))
+    def test_fit_and_evaluate(self, name, experiment):
+        method = make_method(name, seed=0, profile="fast")
+        results = evaluate_prepared(method, experiment)
+        assert set(results) == set(Scenario)
+        for scenario, res in results.items():
+            m = res.metrics
+            assert m.n_trials > 0, scenario
+            assert 0.0 <= m.ndcg <= 1.0
+            assert 0.0 <= m.auc <= 1.0
+            for scores in res.score_lists:
+                assert np.isfinite(scores).all()
+
+
+class TestTrainedBeatsChance:
+    """Learned methods must clear the random baseline on warm-start AUC."""
+
+    @pytest.mark.parametrize("name", ["MetaDPA", "MeLU", "NeuMF", "CoNN"])
+    def test_warm_auc_above_chance(self, name, experiment):
+        method = make_method(name, seed=0, profile="fast")
+        results = evaluate_prepared(method, experiment)
+        assert results[Scenario.WARM].metrics.auc > 0.52, name
+
+
+class TestScenarioEnum:
+    def test_user_item_flags(self):
+        assert not Scenario.WARM.uses_new_users
+        assert not Scenario.WARM.uses_new_items
+        assert Scenario.C_U.uses_new_users and not Scenario.C_U.uses_new_items
+        assert Scenario.C_I.uses_new_items and not Scenario.C_I.uses_new_users
+        assert Scenario.C_UI.uses_new_users and Scenario.C_UI.uses_new_items
+
+    def test_values_match_paper_labels(self):
+        assert Scenario.WARM.value == "warm-start"
+        assert Scenario.C_UI.value == "user&item cold-start"
+
+
+class TestFitContext:
+    def test_visible_ratings_lazy(self, bench_dataset):
+        experiment = prepare_experiment(bench_dataset, "CDs", seed=0)
+        ctx = FitContext(
+            dataset=experiment.dataset,
+            target_name="CDs",
+            splits=experiment.splits,
+            warm_tasks=experiment.task_sets[Scenario.WARM],
+        )
+        assert ctx.train_ratings is None
+        visible = ctx.visible_ratings
+        assert visible.shape == experiment.domain.ratings.shape
+        np.testing.assert_array_equal(visible, experiment.ctx.train_ratings)
+
+    def test_training_visibility_matches_supports(self, experiment):
+        visible = training_visibility(
+            experiment.domain.n_users,
+            experiment.domain.n_items,
+            experiment.ctx.warm_tasks,
+        )
+        total_support_pos = sum(
+            int((t.support_labels > 0.5).sum()) for t in experiment.ctx.warm_tasks
+        )
+        assert int(visible.sum()) == total_support_pos
+
+    def test_domain_property(self, experiment):
+        assert experiment.ctx.domain.name == "CDs"
+
+
+class TestCrossDomainMethodsUseSources:
+    """TDAR/CATN actually read the source domains (not just the target)."""
+
+    @pytest.mark.parametrize("name", ["TDAR", "CATN"])
+    def test_source_data_changes_model(self, name, experiment, bench_dataset):
+        full = make_method(name, seed=0, profile="fast")
+        full.fit(experiment.ctx)
+
+        # Re-fit on a context whose sources are emptied out.
+        import dataclasses
+
+        from repro.data.domain import MultiDomainDataset
+
+        gutted_sources = {
+            src_name: dataclasses.replace(
+                src,
+                ratings=np.zeros_like(src.ratings),
+            )
+            for src_name, src in experiment.dataset.sources.items()
+        }
+        gutted = MultiDomainDataset(
+            vocab=experiment.dataset.vocab,
+            sources=gutted_sources,
+            targets=experiment.dataset.targets,
+            pairs=experiment.dataset.pairs,
+        )
+        ctx2 = FitContext(
+            dataset=gutted,
+            target_name="CDs",
+            splits=experiment.splits,
+            warm_tasks=experiment.ctx.warm_tasks,
+            seed=0,
+            train_ratings=experiment.ctx.train_ratings,
+        )
+        alone = make_method(name, seed=0, profile="fast")
+        alone.fit(ctx2)
+        inst = experiment.instances[Scenario.WARM][0]
+        assert not np.allclose(full.score(None, inst), alone.score(None, inst))
+
+
+class TestSeedSensitivity:
+    def test_different_seeds_different_models(self, experiment):
+        inst = experiment.instances[Scenario.WARM][0]
+
+        def scores(seed):
+            method = make_method("CoNN", seed=seed, profile="fast")
+            method.fit(experiment.ctx)
+            return method.score(None, inst)
+
+        assert not np.allclose(scores(0), scores(1))

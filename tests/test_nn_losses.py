@@ -1,0 +1,198 @@
+"""Loss values and gradients, including hypothesis property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import (
+    binary_cross_entropy,
+    gaussian_kl,
+    gaussian_kl_to_code,
+    info_nce,
+    mse_loss,
+    numerical_gradient,
+    relative_error,
+)
+from repro.nn.losses import info_nce_mi_estimate
+
+RNG = np.random.default_rng(0)
+
+
+class TestBCE:
+    def test_perfect_prediction_near_zero(self):
+        loss, _ = binary_cross_entropy(np.array([0.999999, 1e-6]), np.array([1.0, 0.0]))
+        assert loss < 1e-4
+
+    def test_uniform_prediction(self):
+        loss, _ = binary_cross_entropy(np.full(4, 0.5), np.array([1.0, 0.0, 1.0, 0.0]))
+        assert loss == pytest.approx(np.log(2.0))
+
+    def test_gradient_matches_numerical(self):
+        pred = RNG.uniform(0.05, 0.95, size=(6,))
+        target = RNG.uniform(0.0, 1.0, size=(6,))
+        loss, grad = binary_cross_entropy(pred, target)
+        num = numerical_gradient(lambda p: binary_cross_entropy(p, target)[0], pred.copy())
+        assert relative_error(grad, num) < 1e-5
+
+    def test_soft_labels_supported(self):
+        loss, grad = binary_cross_entropy(np.array([0.3]), np.array([0.3]))
+        # Gradient is zero at pred == soft target.
+        np.testing.assert_allclose(grad, 0.0, atol=1e-9)
+
+    def test_weighting(self):
+        pred = np.array([0.2, 0.8])
+        target = np.array([1.0, 1.0])
+        full, _ = binary_cross_entropy(pred, target)
+        masked, grad = binary_cross_entropy(pred, target, weight=np.array([1.0, 0.0]))
+        assert masked != full
+        assert grad[1] == 0.0
+
+    def test_clipping_handles_extremes(self):
+        loss, grad = binary_cross_entropy(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(loss)
+        assert np.isfinite(grad).all()
+
+    @given(
+        arrays(float, 8, elements=st.floats(0.01, 0.99)),
+        arrays(float, 8, elements=st.floats(0.0, 1.0)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_nonnegative(self, pred, target):
+        loss, _ = binary_cross_entropy(pred, target)
+        # BCE with soft targets is bounded below by the target entropy >= 0.
+        assert loss >= -1e-9
+
+
+class TestMSE:
+    def test_zero_at_equal(self):
+        x = RNG.normal(size=(3, 3))
+        loss, grad = mse_loss(x, x.copy())
+        assert loss == 0.0
+        np.testing.assert_allclose(grad, 0.0)
+
+    def test_value(self):
+        loss, _ = mse_loss(np.array([2.0, 0.0]), np.array([0.0, 0.0]))
+        assert loss == pytest.approx(2.0)
+
+    def test_gradient(self):
+        pred = RNG.normal(size=(4, 2))
+        target = RNG.normal(size=(4, 2))
+        _, grad = mse_loss(pred, target)
+        num = numerical_gradient(lambda p: mse_loss(p, target)[0], pred.copy())
+        assert relative_error(grad, num) < 1e-5
+
+
+class TestGaussianKL:
+    def test_zero_at_standard_normal(self):
+        mu = np.zeros((3, 4))
+        log_var = np.zeros((3, 4))
+        kl, gm, gv = gaussian_kl(mu, log_var)
+        assert kl == pytest.approx(0.0)
+        np.testing.assert_allclose(gm, 0.0)
+        np.testing.assert_allclose(gv, 0.0)
+
+    def test_positive_otherwise(self):
+        kl, _, _ = gaussian_kl(np.ones((2, 2)), np.ones((2, 2)))
+        assert kl > 0.0
+
+    def test_gradients(self):
+        mu = RNG.normal(size=(3, 4))
+        log_var = RNG.normal(size=(3, 4)) * 0.5
+        _, gm, gv = gaussian_kl(mu, log_var)
+        num_m = numerical_gradient(lambda m: gaussian_kl(m, log_var)[0], mu.copy())
+        num_v = numerical_gradient(lambda v: gaussian_kl(mu, v)[0], log_var.copy())
+        assert relative_error(gm, num_m) < 1e-5
+        assert relative_error(gv, num_v) < 1e-5
+
+
+class TestGaussianKLToCode:
+    def test_reduces_to_standard_at_zero_code(self):
+        mu = RNG.normal(size=(3, 4))
+        log_var = RNG.normal(size=(3, 4)) * 0.3
+        kl_code, *_ = gaussian_kl_to_code(mu, log_var, np.zeros_like(mu))
+        kl_std, *_ = gaussian_kl(mu, log_var)
+        assert kl_code == pytest.approx(kl_std)
+
+    def test_zero_when_posterior_equals_prior(self):
+        code = RNG.normal(size=(2, 3))
+        kl, gm, gv, gc = gaussian_kl_to_code(code.copy(), np.zeros((2, 3)), code)
+        assert kl == pytest.approx(0.0)
+        np.testing.assert_allclose(gm, 0.0, atol=1e-12)
+        np.testing.assert_allclose(gc, 0.0, atol=1e-12)
+
+    def test_gradients(self):
+        mu = RNG.normal(size=(3, 4))
+        log_var = RNG.normal(size=(3, 4)) * 0.3
+        code = RNG.normal(size=(3, 4))
+        _, gm, gv, gc = gaussian_kl_to_code(mu, log_var, code)
+        num_m = numerical_gradient(
+            lambda m: gaussian_kl_to_code(m, log_var, code)[0], mu.copy()
+        )
+        num_v = numerical_gradient(
+            lambda v: gaussian_kl_to_code(mu, v, code)[0], log_var.copy()
+        )
+        num_c = numerical_gradient(
+            lambda c: gaussian_kl_to_code(mu, log_var, c)[0], code.copy()
+        )
+        assert relative_error(gm, num_m) < 1e-5
+        assert relative_error(gv, num_v) < 1e-5
+        assert relative_error(gc, num_c) < 1e-5
+
+
+class TestInfoNCE:
+    def test_single_pair_is_zero(self):
+        a = RNG.normal(size=(1, 4))
+        loss, ga, gb = info_nce(a, a.copy())
+        assert loss == 0.0
+        np.testing.assert_allclose(ga, 0.0)
+
+    def test_aligned_batches_score_low(self):
+        a = RNG.normal(size=(16, 8))
+        loss_aligned, _, _ = info_nce(a, a + 0.01 * RNG.normal(size=a.shape))
+        b_shuffled = a[RNG.permutation(16)]
+        loss_shuffled, _, _ = info_nce(a, b_shuffled)
+        assert loss_aligned < loss_shuffled
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            info_nce(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    @pytest.mark.parametrize("normalize", [True, False])
+    def test_gradients(self, normalize):
+        # Moderate magnitudes and temperature 1.0 keep the softmax away from
+        # saturation, where the numerical clip inside log() would flatten
+        # the finite-difference estimate.
+        a = 0.5 * RNG.normal(size=(5, 3))
+        b = 0.5 * RNG.normal(size=(5, 3))
+        _, ga, gb = info_nce(a, b, temperature=1.0, normalize=normalize)
+        num_a = numerical_gradient(
+            lambda x: info_nce(x, b, temperature=1.0, normalize=normalize)[0], a.copy()
+        )
+        num_b = numerical_gradient(
+            lambda x: info_nce(a, x, temperature=1.0, normalize=normalize)[0], b.copy()
+        )
+        assert relative_error(ga, num_a) < 1e-4
+        assert relative_error(gb, num_b) < 1e-4
+
+    def test_normalized_logits_bounded(self):
+        # Huge-magnitude inputs stay stable with cosine similarities.
+        a = RNG.normal(size=(8, 4)) * 1e6
+        b = RNG.normal(size=(8, 4)) * 1e6
+        loss, ga, gb = info_nce(a, b, normalize=True)
+        assert np.isfinite(loss)
+        assert np.isfinite(ga).all() and np.isfinite(gb).all()
+
+    def test_mi_estimate_higher_for_dependent_batches(self):
+        a = RNG.normal(size=(32, 8))
+        dependent = info_nce_mi_estimate(a, a + 0.01 * RNG.normal(size=a.shape))
+        independent = info_nce_mi_estimate(a, RNG.normal(size=a.shape))
+        assert dependent > independent
+
+    def test_mi_estimate_bounded_by_log_batch(self):
+        a = RNG.normal(size=(16, 4))
+        est = info_nce_mi_estimate(a, a.copy())
+        assert est <= np.log(16) + 1e-9

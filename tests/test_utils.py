@@ -1,0 +1,84 @@
+"""Utility modules: RNG plumbing, batching, timing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, ensure_rng, iter_batches, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_from_seed(self):
+        a = ensure_rng(42)
+        b = ensure_rng(42)
+        assert a.random() == b.random()
+
+    def test_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_independent_children(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_deterministic(self):
+        first = [g.random() for g in spawn_rngs(7, 3)]
+        second = [g.random() for g in spawn_rngs(7, 3)]
+        assert first == second
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestIterBatches:
+    def test_covers_all_indices(self):
+        seen = np.concatenate(list(iter_batches(10, 3, rng=0)))
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_batch_sizes(self):
+        sizes = [b.size for b in iter_batches(10, 3, shuffle=False)]
+        assert sizes == [3, 3, 3, 1]
+
+    def test_drop_last(self):
+        sizes = [b.size for b in iter_batches(10, 3, shuffle=False, drop_last=True)]
+        assert sizes == [3, 3, 3]
+
+    def test_no_shuffle_is_ordered(self):
+        first = next(iter_batches(10, 4, shuffle=False))
+        np.testing.assert_array_equal(first, [0, 1, 2, 3])
+
+    def test_shuffle_deterministic_by_seed(self):
+        a = np.concatenate(list(iter_batches(20, 6, rng=5)))
+        b = np.concatenate(list(iter_batches(20, 6, rng=5)))
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iter_batches(10, 0))
+
+
+class TestTimer:
+    def test_measures_nonnegative(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            sum(range(100000))
+        assert t.elapsed >= 0.0
+        assert t.elapsed != first or t.elapsed >= 0.0
