@@ -7,25 +7,25 @@ on identical leave-one-out candidate lists.
 Usage:  python examples/cold_start_comparison.py
 """
 
-from repro.baselines import CoNN, MeLU, NeuMF
 from repro.data import make_amazon_like_benchmark, prepare_experiment
 from repro.eval.protocol import evaluate_prepared, format_results_table
-from repro.meta import MetaDPA, MetaDPAConfig
+from repro.registry import build_method
 
 
 def main() -> None:
     dataset = make_amazon_like_benchmark(seed=0)
     experiment = prepare_experiment(dataset, "Books", seed=0)
 
-    methods = [
-        NeuMF(epochs=15, seed=0),
-        CoNN(epochs=10, seed=0),
-        MeLU(meta_epochs=15, seed=0),
-        MetaDPA(MetaDPAConfig(cvae_epochs=150, meta_epochs=15), seed=0),
+    specs = [
+        {"name": "NeuMF", "epochs": 15},
+        {"name": "CoNN", "epochs": 10},
+        {"name": "MeLU", "meta_epochs": 15},
+        {"name": "MetaDPA", "cvae_epochs": 150, "meta_epochs": 15},
     ]
     results = {}
-    for method in methods:
-        print(f"Fitting {method.name} ...")
+    for spec in specs:
+        print(f"Fitting {spec['name']} ...")
+        method = build_method(spec, seed=0)
         results[method.name] = evaluate_prepared(method, experiment)
 
     print()

@@ -15,7 +15,7 @@ from repro.data import (
 )
 from repro.data.statistics import format_table_1, format_table_2
 from repro.eval.protocol import evaluate_prepared, format_results_table
-from repro.meta import MetaDPA, MetaDPAConfig
+from repro.registry import build_method
 
 
 def main() -> None:
@@ -47,7 +47,7 @@ def main() -> None:
     print(format_table_2(dataset))
 
     experiment = prepare_experiment(dataset, "RadioDrama", seed=0)
-    method = MetaDPA(MetaDPAConfig(cvae_epochs=150, meta_epochs=12), seed=0)
+    method = build_method({"name": "MetaDPA", "cvae_epochs": 150, "meta_epochs": 12}, seed=0)
     results = evaluate_prepared(method, experiment)
     print()
     print(format_results_table({"MetaDPA": results}))

@@ -1,19 +1,25 @@
-"""Quickstart: train MetaDPA on the Amazon-like benchmark and evaluate it.
+"""Quickstart: config-driven training, evaluation, and serving.
 
-Runs the full pipeline end to end on the CDs target domain at a small
+Runs the full lifecycle end to end on the CDs target domain at a small
 budget (about a minute on a laptop):
 
 1. generate the five-domain synthetic benchmark,
 2. prepare a leak-free evaluation split,
-3. fit MetaDPA (domain adaptation -> diverse augmentation -> meta-learning),
-4. report HR@10 / MRR@10 / NDCG@10 / AUC on all four scenarios.
+3. build MetaDPA from a plain config dict and fit it,
+4. report HR@10 / MRR@10 / NDCG@10 / AUC on all four scenarios,
+5. save the fitted model to an artifact, reload it, and serve top-k
+   recommendations through :class:`repro.service.RecommenderService`.
 
 Usage:  python examples/quickstart.py
 """
 
+import tempfile
+from pathlib import Path
+
 from repro.data import make_amazon_like_benchmark, prepare_experiment
 from repro.eval.protocol import evaluate_prepared, format_results_table
-from repro.meta import MetaDPA, MetaDPAConfig
+from repro.registry import build_method
+from repro.service import RecommenderService
 
 
 def main() -> None:
@@ -34,13 +40,24 @@ def main() -> None:
         f"/{experiment.splits.new_items.size}"
     )
 
-    print("\nTraining MetaDPA (reduced budget for the quickstart) ...")
-    config = MetaDPAConfig(cvae_epochs=150, meta_epochs=12)
-    method = MetaDPA(config, seed=0)
+    print("\nTraining MetaDPA from a config dict (reduced budget) ...")
+    method = build_method(
+        {"name": "MetaDPA", "cvae_epochs": 150, "meta_epochs": 12}, seed=0
+    )
     results = evaluate_prepared(method, experiment)
 
     print("\nGenerated augmentations:", method.augmented.k, "rating matrices")
     print(format_results_table({"MetaDPA": results}))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = Path(tmp) / "metadpa.npz"
+        method.save(artifact)
+        print(f"Saved artifact to {artifact.name}; reloading for serving ...")
+        service = RecommenderService.from_artifact(artifact)
+        top = service.recommend(user_row=0, k=5)
+        print("Top-5 items for user 0:", [int(item) for item in top.items])
+        top = service.recommend(user_row=0, k=5)  # served from the LRU cache
+        print("Service stats:", service.stats())
 
 
 if __name__ == "__main__":

@@ -160,6 +160,7 @@ class CATN(Recommender):
             lr=self.lr,
             rng=train_rng,
         )
+        self.attach_serving(ctx)
         return self
 
     def score(

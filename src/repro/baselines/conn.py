@@ -81,6 +81,7 @@ class CoNN(Recommender):
             lr=self.lr,
             rng=train_rng,
         )
+        self.attach_serving(ctx)
         return self
 
     def score(

@@ -154,6 +154,7 @@ class DAML(Recommender):
             lr=self.lr,
             rng=train_rng,
         )
+        self.attach_serving(ctx)
         return self
 
     def score(

@@ -17,8 +17,15 @@ import numpy as np
 from repro.core.interface import FitContext, Recommender
 from repro.data.negative_sampling import EvalInstance
 from repro.data.tasks import PreferenceTask
-from repro.meta.maml import MAML, MAMLConfig, materialize_task, subsample_support
+from repro.meta.maml import (
+    MAML,
+    MAMLConfig,
+    batched_candidate_scores,
+    materialize_task,
+    subsample_support,
+)
 from repro.meta.model import PreferenceModel, PreferenceModelConfig
+from repro.nn.module import Params
 from repro.utils.rng import spawn_rngs
 
 
@@ -52,13 +59,7 @@ class MeLU(Recommender):
         self._ctx = ctx
         domain = ctx.domain
         maml_rng, _ = spawn_rngs(self.seed, 2)
-        model = PreferenceModel(
-            PreferenceModelConfig(
-                content_dim=domain.user_content.shape[1],
-                embed_dim=self.embed_dim,
-                hidden_dims=self.hidden_dims,
-            )
-        )
+        model = self._build_model(domain.user_content.shape[1])
         self.maml = MAML(model, self.maml_config, seed=maml_rng)
         view_rng, _ = spawn_rngs(self.seed + 1, 2)
         source_tasks = []
@@ -79,30 +80,77 @@ class MeLU(Recommender):
             for t in source_tasks
         ]
         self.meta_loss_history = self.maml.fit(tasks, epochs=self.meta_epochs)
+        self.attach_serving(ctx)
         return self
+
+    # ------------------------------------------------------------------
+    def _build_model(self, content_dim: int) -> PreferenceModel:
+        return PreferenceModel(
+            PreferenceModelConfig(
+                content_dim=content_dim,
+                embed_dim=self.embed_dim,
+                hidden_dims=self.hidden_dims,
+            )
+        )
+
+    def adapt_user(self, task: PreferenceTask | None):
+        """Fine-tune the meta-initialization on the user's support set."""
+        if self.maml is None:
+            raise RuntimeError("fit() must be called before adapt_user()")
+        if task is None or task.n_support == 0 or self.finetune_steps == 0:
+            return None
+        serving = self.serving
+        item = materialize_task(
+            serving.user_content,
+            serving.item_content,
+            task.user_row,
+            task.support_items,
+            task.support_labels,
+            task.query_items,
+            task.query_labels,
+        )
+        return self.maml.finetune(item, steps=self.finetune_steps)
+
+    def score_with_state(
+        self,
+        state,
+        instance: EvalInstance,
+        task: PreferenceTask | None = None,
+    ) -> np.ndarray:
+        if self.maml is None:
+            raise RuntimeError("fit() must be called before scoring")
+        serving = self.serving
+        params = state if state is not None else self.maml.params
+        candidates = instance.candidates
+        user_content = np.repeat(
+            serving.user_content[instance.user_row][None, :], candidates.size, axis=0
+        )
+        return self.maml.predict(
+            user_content, serving.item_content[candidates], params=params
+        )
+
+    def score_with_state_batch(self, states, instances) -> list[np.ndarray]:
+        if self.maml is None:
+            raise RuntimeError("fit() must be called before scoring")
+        serving = self.serving
+        return batched_candidate_scores(
+            self.maml, serving.user_content, serving.item_content, states, instances
+        )
 
     def score(
         self, task: PreferenceTask | None, instance: EvalInstance
     ) -> np.ndarray:
-        if self.maml is None or self._ctx is None:
-            raise RuntimeError("fit() must be called before score()")
-        domain = self._ctx.domain
-        params = self.maml.params
-        if task is not None and task.n_support > 0 and self.finetune_steps > 0:
-            item = materialize_task(
-                domain.user_content,
-                domain.item_content,
-                task.user_row,
-                task.support_items,
-                task.support_labels,
-                task.query_items,
-                task.query_labels,
-            )
-            params = self.maml.finetune(item, steps=self.finetune_steps)
-        candidates = instance.candidates
-        user_content = np.repeat(
-            domain.user_content[instance.user_row][None, :], candidates.size, axis=0
-        )
-        return self.maml.predict(
-            user_content, domain.item_content[candidates], params=params
-        )
+        return self.score_with_state(self.adapt_user(task), instance)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Params:
+        if self.maml is None:
+            raise RuntimeError("fit() must be called before state_dict()")
+        return dict(self.maml.params)
+
+    def load_state_dict(self, state: Params) -> None:
+        model = self._build_model(self.serving.user_content.shape[1])
+        self.maml = MAML(model, self.maml_config, seed=self.seed)
+        self.maml.params = {
+            name: np.asarray(value) for name, value in state.items()
+        }

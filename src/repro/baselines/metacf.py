@@ -171,30 +171,43 @@ class MetaCF(Recommender):
                 epoch_loss += batch_loss / len(batch)
                 n_batches += 1
             self.meta_loss_history.append(epoch_loss / max(n_batches, 1))
+        self.attach_serving(ctx)
         return self
 
     # ------------------------------------------------------------------
-    def score(
-        self, task: PreferenceTask | None, instance: EvalInstance
+    def adapt_user(self, task: PreferenceTask | None):
+        """Fine-tuned ``(profile, params)`` pair for one user's support set."""
+        if self.params is None or self._mlp is None:
+            raise RuntimeError("fit() must be called before adapt_user()")
+        if task is None or task.n_support == 0:
+            return None
+        profile = self._profile_of(task)
+        params = self.params
+        if self.finetune_steps > 0:
+            fast = dict(params)
+            for _ in range(self.finetune_steps):
+                _, grads = self._loss_grads(
+                    fast, profile, task.support_items, task.support_labels
+                )
+                for name, grad in grads.items():
+                    fast[name] = fast[name] - self.inner_lr * grad
+            params = fast
+        return profile, params
+
+    def score_with_state(
+        self,
+        state,
+        instance: EvalInstance,
+        task: PreferenceTask | None = None,
     ) -> np.ndarray:
         if self.params is None or self._mlp is None:
-            raise RuntimeError("fit() must be called before score()")
-        params = self.params
-        candidates = instance.candidates
-        if task is None or task.n_support == 0:
+            raise RuntimeError("fit() must be called before scoring")
+        if state is None:
             # No history at all: fall back to the global item prior.
-            profile = np.arange(params["E"].shape[0])
+            profile, params = np.arange(self.params["E"].shape[0]), self.params
         else:
-            profile = self._profile_of(task)
-            if self.finetune_steps > 0:
-                fast = dict(params)
-                for _ in range(self.finetune_steps):
-                    _, grads = self._loss_grads(
-                        fast, profile, task.support_items, task.support_labels
-                    )
-                    for name, grad in grads.items():
-                        fast[name] = fast[name] - self.inner_lr * grad
-                params = fast
+            profile, params = state
+        candidates = instance.candidates
         emb = params["E"]
         user = emb[profile].mean(axis=0)
         joint = np.concatenate(
@@ -203,3 +216,21 @@ class MetaCF(Recommender):
         )
         preds = self._mlp(self._sub(params, "mlp"), joint)
         return preds[:, 0]
+
+    def score(
+        self, task: PreferenceTask | None, instance: EvalInstance
+    ) -> np.ndarray:
+        return self.score_with_state(self.adapt_user(task), instance)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Params:
+        if self.params is None or self._cooc is None:
+            raise RuntimeError("fit() must be called before state_dict()")
+        return {**self.params, "cooc": self._cooc}
+
+    def load_state_dict(self, state: Params) -> None:
+        state = dict(state)
+        self._cooc = np.asarray(state.pop("cooc"))
+        n_items = state["E"].shape[0]
+        self._build(n_items, ensure_rng(self.seed))
+        self.params = {name: np.asarray(value) for name, value in state.items()}

@@ -152,7 +152,20 @@ class NeuMF(Recommender):
             lr=self.lr,
             rng=train_rng,
         )
+        self.attach_serving(ctx)
         return self
+
+    def state_dict(self) -> Params:
+        if self.params is None:
+            raise RuntimeError("fit() must be called before state_dict()")
+        return dict(self.params)
+
+    def load_state_dict(self, state: Params) -> None:
+        # The serving state is attached before this call; its seen-matrix
+        # shape carries the embedding table sizes the modules need.
+        serving = self.serving
+        self._build(serving.n_users, serving.n_items, ensure_rng(self.seed))
+        self.params = {name: np.asarray(value) for name, value in state.items()}
 
     def score(
         self, task: PreferenceTask | None, instance: EvalInstance

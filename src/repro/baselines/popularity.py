@@ -27,7 +27,16 @@ class Popularity(Recommender):
         # Only training-visible interactions count; new items correctly get
         # zero popularity (their ratings are hidden until evaluation).
         self._scores = ctx.visible_ratings.sum(axis=0)
+        self.attach_serving(ctx)
         return self
+
+    def state_dict(self) -> dict:
+        if self._scores is None:
+            raise RuntimeError("fit() must be called before state_dict()")
+        return {"scores": self._scores}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._scores = np.asarray(state["scores"])
 
     def score(
         self, task: PreferenceTask | None, instance: EvalInstance

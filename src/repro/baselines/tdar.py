@@ -189,6 +189,7 @@ class TDAR(Recommender):
             lr=self.lr,
             rng=train_rng,
         )
+        self.attach_serving(ctx)
         return self
 
     def score(

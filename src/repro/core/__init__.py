@@ -7,6 +7,18 @@ shared contract that MetaDPA and all baselines implement so the evaluation
 protocol and every benchmark can treat them uniformly.
 """
 
-from repro.core.interface import FitContext, Recommender
+from repro.core.interface import (
+    FitContext,
+    Recommendation,
+    Recommender,
+    ServingState,
+    training_visibility,
+)
 
-__all__ = ["FitContext", "Recommender"]
+__all__ = [
+    "FitContext",
+    "Recommendation",
+    "Recommender",
+    "ServingState",
+    "training_visibility",
+]

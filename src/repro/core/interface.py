@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -20,6 +22,13 @@ from repro.data.domain import Domain, MultiDomainDataset
 from repro.data.negative_sampling import EvalInstance
 from repro.data.splits import ColdStartSplits
 from repro.data.tasks import PreferenceTask, TaskSet
+from repro.nn.module import Params
+
+#: Artifact layout version written by :meth:`Recommender.save`.
+ARTIFACT_FORMAT = 1
+
+_STATE_PREFIX = "state."
+_SERVING_PREFIX = "serving."
 
 
 @dataclass
@@ -69,20 +78,82 @@ class FitContext:
         return self.train_ratings
 
 
-def training_visibility(n_users: int, n_items: int, warm_tasks: TaskSet) -> np.ndarray:
-    """Binary matrix of warm-task support positives (the training set)."""
-    visible = np.zeros((n_users, n_items))
+def training_visibility(
+    n_users: int,
+    n_items: int,
+    warm_tasks: TaskSet,
+    dtype: np.dtype | type = np.float32,
+) -> np.ndarray:
+    """Binary matrix of warm-task support positives (the training set).
+
+    ``float32`` by default: the matrix only ever holds 0/1 and sits on the
+    hot path of every ``fit``, so the narrower dtype halves its memory.
+    """
+    visible = np.zeros((n_users, n_items), dtype=dtype)
     for task in warm_tasks:
         positives = task.support_items[task.support_labels > 0.5]
         visible[task.user_row, positives] = 1.0
     return visible
 
 
+@dataclass
+class ServingState:
+    """Everything a fitted method needs to answer ``recommend`` calls.
+
+    Captured from the :class:`FitContext` at the end of ``fit`` (via
+    :meth:`Recommender.attach_serving`) and persisted inside artifacts, so a
+    loaded model can score without the original dataset: the leak-free
+    content matrices for content-based scoring and the boolean ``seen``
+    matrix for ``exclude_seen`` filtering.
+    """
+
+    user_content: np.ndarray
+    item_content: np.ndarray
+    seen: np.ndarray
+
+    @property
+    def n_users(self) -> int:
+        return self.seen.shape[0]
+
+    @property
+    def n_items(self) -> int:
+        return self.seen.shape[1]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Top-k answer for one user: items sorted by descending score."""
+
+    user_row: int
+    items: np.ndarray
+    scores: np.ndarray
+
+    def __len__(self) -> int:
+        return self.items.size
+
+
 class Recommender(abc.ABC):
-    """Abstract cold-start recommender."""
+    """Abstract cold-start recommender.
+
+    Beyond the original ``fit``/``score`` evaluation contract, the class
+    defines the serving lifecycle: ``fit`` captures a :class:`ServingState`
+    (via :meth:`attach_serving`), :meth:`save`/:meth:`load` round-trip a
+    fitted model through a self-contained ``.npz`` artifact, and
+    :meth:`recommend` answers the production question — top-k unseen items
+    for one user.  Meta-learners additionally split scoring into
+    :meth:`adapt_user` (expensive, per-user) and :meth:`score_with_state`
+    (cheap, per-request) so :class:`repro.service.RecommenderService` can
+    cache the adaptation.
+    """
 
     #: short display name used in result tables (e.g. "MetaDPA", "NeuMF").
     name: str = "recommender"
+    #: per-run seed; subclasses set it in ``__init__``.
+    seed: int = 0
+    #: the registry config this instance was built from, when built via
+    #: :func:`repro.registry.build_method`; used to rebuild on ``load``.
+    _method_config = None
+    _serving: ServingState | None = None
 
     @abc.abstractmethod
     def fit(self, ctx: FitContext) -> "Recommender":
@@ -106,3 +177,197 @@ class Recommender(abc.ABC):
         if len(tasks) != len(instances):
             raise ValueError("tasks and instances must align")
         return [self.score(t, i) for t, i in zip(tasks, instances)]
+
+    # -- serving state --------------------------------------------------
+    def attach_serving(self, ctx: FitContext) -> "Recommender":
+        """Capture the serving-time state from a fit context.
+
+        Every ``fit`` implementation calls this so that a fitted method can
+        answer :meth:`recommend` and be persisted with :meth:`save`.
+        """
+        self._serving = ServingState(
+            user_content=ctx.domain.user_content,
+            item_content=ctx.domain.item_content,
+            seen=np.asarray(ctx.visible_ratings) > 0,
+        )
+        return self
+
+    @property
+    def serving(self) -> ServingState:
+        """The attached serving state; raises before ``fit``/``load``."""
+        if self._serving is None:
+            raise RuntimeError(
+                f"{self.name} has no serving state: call fit() or load() first"
+            )
+        return self._serving
+
+    # -- per-user adaptation hooks --------------------------------------
+    def adapt_user(self, task: PreferenceTask | None) -> Any:
+        """Compute the per-user adapted state from a support task.
+
+        For meta-learners this is the expensive fine-tuning step; the
+        default returns ``None`` (no adaptation).  The returned object is
+        opaque to callers and only consumed by :meth:`score_with_state`,
+        which lets the serving layer cache it per user.
+        """
+        return None
+
+    def score_with_state(
+        self,
+        state: Any,
+        instance: EvalInstance,
+        task: PreferenceTask | None = None,
+    ) -> np.ndarray:
+        """Score one instance given a previously adapted user state."""
+        return self.score(task, instance)
+
+    def score_with_state_batch(
+        self, states: list[Any], instances: list[EvalInstance]
+    ) -> list[np.ndarray]:
+        """Score many instances with per-instance adapted states.
+
+        This is the coalescing entry point used by the service's
+        micro-batching queue; methods with vectorized forwards override it.
+        """
+        if len(states) != len(instances):
+            raise ValueError("states and instances must align")
+        return [self.score_with_state(s, i) for s, i in zip(states, instances)]
+
+    # -- top-k recommendation -------------------------------------------
+    def recommend(
+        self,
+        user_row: int,
+        k: int = 10,
+        exclude_seen: bool = True,
+        candidates: np.ndarray | None = None,
+        task: PreferenceTask | None = None,
+    ) -> Recommendation:
+        """Top-``k`` items for ``user_row`` over the candidate pool.
+
+        The default implementation is fully generic: it builds one scoring
+        instance over the pool (all items, minus already-seen ones when
+        ``exclude_seen``) and ranks via :meth:`score_batch`, so every method
+        gets a serving entry point for free.  ``task`` optionally carries
+        the user's support set for fine-tuning methods.
+        """
+        serving = self.serving
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if not 0 <= user_row < serving.n_users:
+            raise ValueError(
+                f"user_row {user_row} out of range [0, {serving.n_users})"
+            )
+        if candidates is None:
+            pool = np.arange(serving.n_items)
+        else:
+            pool = np.unique(np.asarray(candidates, dtype=int))
+        if exclude_seen:
+            pool = pool[~serving.seen[user_row, pool]]
+        if pool.size == 0:
+            empty = np.array([], dtype=int)
+            return Recommendation(int(user_row), empty, np.array([], dtype=float))
+        instance = EvalInstance(
+            user_row=int(user_row), pos_item=int(pool[0]), neg_items=pool[1:]
+        )
+        scores = np.asarray(self.score_batch([task], [instance])[0], dtype=float)
+        order = np.argsort(-scores, kind="stable")[:k]
+        return Recommendation(int(user_row), pool[order], scores[order])
+
+    # -- persistence ----------------------------------------------------
+    def state_dict(self) -> Params:
+        """Learned arrays to persist; inverse of :meth:`load_state_dict`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support serialization yet"
+        )
+
+    def load_state_dict(self, state: Params) -> None:
+        """Restore learned arrays; the serving state is already attached."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support serialization yet"
+        )
+
+    def supports_serialization(self) -> bool:
+        """Whether this method implements ``state_dict``/``load_state_dict``."""
+        return type(self).state_dict is not Recommender.state_dict
+
+    def config_dict(self) -> dict:
+        """JSON-able constructor config, written into saved artifacts.
+
+        Instances built via :func:`repro.registry.build_method` report their
+        config verbatim; directly-constructed instances fall back to reading
+        the registry config's fields off the instance (every config field
+        mirrors a constructor attribute), so non-default hyper-parameters
+        survive the save/load round trip either way.
+        """
+        if self._method_config is not None:
+            return self._method_config.to_dict()
+        from repro.registry import config_class
+
+        try:
+            cls = config_class(self.name)
+        except KeyError:
+            return {}
+        values = {
+            name: getattr(self, name)
+            for name in cls.field_names()
+            if hasattr(self, name)
+        }
+        return cls.from_dict(values).to_dict()
+
+    def registry_name(self) -> str:
+        """The registry name used to rebuild this method on ``load``."""
+        if self._method_config is not None:
+            return self._method_config.method
+        return self.name
+
+    def save(self, path: str | Path) -> Path:
+        """Write a self-contained artifact: config + weights + serving state."""
+        from repro.nn.serialization import save_params
+
+        serving = self.serving
+        payload: Params = {
+            f"{_STATE_PREFIX}{k}": np.asarray(v)
+            for k, v in self.state_dict().items()
+        }
+        payload[f"{_SERVING_PREFIX}user_content"] = serving.user_content
+        payload[f"{_SERVING_PREFIX}item_content"] = serving.item_content
+        payload[f"{_SERVING_PREFIX}seen"] = serving.seen.astype(np.uint8)
+        header = {
+            "format": ARTIFACT_FORMAT,
+            "method": self.registry_name(),
+            "seed": int(getattr(self, "seed", 0)),
+            "config": self.config_dict(),
+        }
+        path = Path(path)
+        save_params(path, payload, config=header)
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Recommender":
+        """Rebuild a fitted method from a :meth:`save` artifact."""
+        from repro.nn.serialization import load_params
+        from repro.registry import build_method
+
+        arrays, header = load_params(path)
+        if not header or "method" not in header:
+            raise ValueError(f"{path} is not a recommender artifact")
+        method = build_method(
+            {"name": header["method"], **header.get("config", {})},
+            seed=int(header.get("seed", 0)),
+        )
+        if cls is not Recommender and not isinstance(method, cls):
+            raise TypeError(
+                f"artifact holds a {type(method).__name__}, not a {cls.__name__}"
+            )
+        method._serving = ServingState(
+            user_content=arrays[f"{_SERVING_PREFIX}user_content"],
+            item_content=arrays[f"{_SERVING_PREFIX}item_content"],
+            seen=arrays[f"{_SERVING_PREFIX}seen"].astype(bool),
+        )
+        state = {
+            name[len(_STATE_PREFIX):]: value
+            for name, value in arrays.items()
+            if name.startswith(_STATE_PREFIX)
+        }
+        method.load_state_dict(state)
+        return method

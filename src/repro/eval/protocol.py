@@ -13,6 +13,7 @@ For each scenario:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
@@ -38,6 +39,29 @@ class EvaluationResult:
     def ndcg_at(self, ks: list[int]) -> dict[int, float]:
         """NDCG@k curve over the stored per-instance score lists."""
         return ndcg_curve(self.score_lists, ks)
+
+
+def resolve_method(method, seed: int = 0, profile: str | None = None) -> Recommender:
+    """Accept a :class:`Recommender`, a registry name, or a config dict.
+
+    Evaluation entry points route through this, so callers can pass the
+    declarative form — ``{"name": "MetaDPA", "cvae_epochs": 60}`` — instead
+    of constructing method objects by hand.
+    """
+    if isinstance(method, Recommender):
+        return method
+    if isinstance(method, (str, Mapping)):
+        from repro.registry import build_method
+
+        return build_method(method, seed=seed, profile=profile)
+    from repro.registry import MethodConfig, build_method
+
+    if isinstance(method, MethodConfig):
+        return build_method(method, seed=seed)
+    raise TypeError(
+        f"cannot resolve a method from {type(method).__name__}; "
+        "pass a Recommender, a registered name, or a config dict"
+    )
 
 
 def evaluate_method(
@@ -71,7 +95,7 @@ def evaluate_method(
 
 
 def evaluate_prepared(
-    method: Recommender,
+    method,
     experiment,
     scenarios: list[Scenario] | None = None,
     k: int = 10,
@@ -81,8 +105,11 @@ def evaluate_prepared(
 
     This is the preferred entry point: the experiment bundle owns the
     leak-free splits, tasks, instances and visibility matrices, so every
-    method is scored on *identical* candidate lists.
+    method is scored on *identical* candidate lists.  ``method`` may be a
+    fitted/unfitted :class:`Recommender`, a registered method name, or a
+    config dict accepted by :func:`repro.registry.build_method`.
     """
+    method = resolve_method(method, seed=experiment.seed)
     if fit:
         method.fit(experiment.ctx)
     results: dict[Scenario, EvaluationResult] = {}
@@ -105,14 +132,19 @@ def evaluate_prepared(
 
 
 def evaluate_scenarios(
-    method: Recommender,
+    method,
     ctx: FitContext,
     scenarios: list[Scenario] | None = None,
     task_config: TaskConfig | None = None,
     n_negatives: int = 99,
     k: int = 10,
 ) -> dict[Scenario, EvaluationResult]:
-    """Fit once, then evaluate on every requested scenario."""
+    """Fit once, then evaluate on every requested scenario.
+
+    Like :func:`evaluate_prepared`, ``method`` may also be a registered
+    name or config dict.
+    """
+    method = resolve_method(method, seed=ctx.seed)
     method.fit(ctx)
     results = {}
     for scenario in scenarios or list(Scenario):

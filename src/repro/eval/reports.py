@@ -69,6 +69,98 @@ def table3_to_csv(result: Table3Result) -> str:
     return buffer.getvalue()
 
 
+def ablation_to_csv(result) -> str:
+    """Render a Fig. 5 :class:`AblationResult` as long-format CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["target", "scenario", "variant", "k", "ndcg", "diversity"])
+    for (scenario, variant), values in result.curves.items():
+        diversity = result.diversity.get(variant, "")
+        for k, value in zip(result.ks, values):
+            writer.writerow(
+                [
+                    result.target,
+                    scenario.value,
+                    variant,
+                    k,
+                    f"{value:.6f}",
+                    f"{diversity:.6f}" if diversity != "" else "",
+                ]
+            )
+    return buffer.getvalue()
+
+
+def ablation_to_markdown(result) -> str:
+    """Render a Fig. 5 :class:`AblationResult` as Markdown tables."""
+    chunks = [f"### Ablation (Fig. 5) on {result.target}\n"]
+    if result.diversity:
+        chunks.append("| Variant | Diversity |")
+        chunks.append("|---|---|")
+        for variant in result.variants:
+            if variant in result.diversity:
+                chunks.append(f"| {variant} | {result.diversity[variant]:.4f} |")
+        chunks.append("")
+    for scenario in Scenario:
+        chunks.append(f"**{scenario.value}**\n")
+        chunks.append("| Variant | " + " | ".join(f"NDCG@{k}" for k in result.ks) + " |")
+        chunks.append("|" + "---|" * (len(result.ks) + 1))
+        for variant in result.variants:
+            values = result.curves.get((scenario, variant))
+            if values is None:
+                continue
+            cells = " | ".join(f"{v:.4f}" for v in values)
+            chunks.append(f"| {variant} | {cells} |")
+        chunks.append("")
+    return "\n".join(chunks)
+
+
+def significance_to_csv(report) -> str:
+    """Render a Sec. V-D :class:`SignificanceReport` as CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "target",
+            "scenario",
+            "metric",
+            "runner_up",
+            "median_diff",
+            "p_value",
+            "significant",
+        ]
+    )
+    for (scenario, metric), (runner_up, res) in report.results.items():
+        writer.writerow(
+            [
+                report.target,
+                scenario.value,
+                metric,
+                runner_up,
+                f"{res.median_difference:.6f}",
+                f"{res.p_value:.6e}",
+                "yes" if res.significant else "no",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def significance_to_markdown(report) -> str:
+    """Render a Sec. V-D :class:`SignificanceReport` as a Markdown table."""
+    chunks = [
+        f"### Significance (Sec. V-D) on {report.target}, "
+        f"{report.n_seeds} random splits\n",
+        "| Scenario | Metric | Runner-up | Median diff | p-value | Significant |",
+        "|---|---|---|---|---|---|",
+    ]
+    for (scenario, metric), (runner_up, res) in report.results.items():
+        chunks.append(
+            f"| {scenario.value} | {metric} | {runner_up} | "
+            f"{res.median_difference:.4f} | {res.p_value:.2e} | "
+            f"{'yes' if res.significant else 'no'} |"
+        )
+    return "\n".join(chunks) + "\n"
+
+
 def curves_to_csv(ks: list[int], curves: dict, label: str = "series") -> str:
     """Render NDCG@k curves (Figs. 3–5 data) as CSV.
 

@@ -16,7 +16,12 @@ faithful budgets) and a seed list, and returns a plain result object with a
 reports.
 """
 
-from repro.experiments.registry import MethodSpec, make_method, method_names
+from repro.experiments.registry import (
+    MethodSpec,
+    build_method,
+    make_method,
+    method_names,
+)
 from repro.experiments.table3 import Table3Result, run_table3
 from repro.experiments.ndcg_curves import NdcgCurvesResult, run_ndcg_curves
 from repro.experiments.ablation import AblationResult, run_ablation
@@ -27,6 +32,7 @@ from repro.experiments.stats_tables import run_dataset_statistics
 
 __all__ = [
     "MethodSpec",
+    "build_method",
     "make_method",
     "method_names",
     "Table3Result",

@@ -23,7 +23,7 @@ from repro.data.domain import MultiDomainDataset
 from repro.data.experiment import prepare_experiment
 from repro.data.splits import Scenario
 from repro.eval.protocol import evaluate_prepared
-from repro.experiments.registry import make_method
+from repro.registry import make_method
 from repro.experiments.ndcg_curves import DEFAULT_KS
 
 ABLATION_VARIANTS = ("MetaDPA", "MetaDPA-MDI", "MetaDPA-ME", "MeLU")

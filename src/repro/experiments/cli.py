@@ -1,23 +1,30 @@
-"""Command-line entry point: regenerate any table or figure of the paper.
+"""Command-line entry point: paper tables/figures plus the serving lifecycle.
 
-Usage::
+Experiment commands regenerate any table or figure of the paper::
 
     python -m repro.experiments.cli stats
     python -m repro.experiments.cli table3 --seeds 0 1 2 --profile full
     python -m repro.experiments.cli fig3 --target Books
-    python -m repro.experiments.cli fig5
-    python -m repro.experiments.cli fig6
+    python -m repro.experiments.cli fig5 --csv fig5.csv
+    python -m repro.experiments.cli fig6 --seed 1 --user-base 160
     python -m repro.experiments.cli fig7 --target CDs
-    python -m repro.experiments.cli fig8
-    python -m repro.experiments.cli significance --seeds 0 1 2 3 4 5 6 7
+    python -m repro.experiments.cli significance --markdown sig.md
 
-Every command prints the paper-style table to stdout; ``--csv PATH`` /
-``--markdown PATH`` write machine-readable copies where supported.
+Serving commands run the fit → save → load → recommend lifecycle::
+
+    python -m repro.experiments.cli train --method MetaDPA --profile fast --out m.npz
+    python -m repro.experiments.cli recommend --artifact m.npz --user 0 -k 10
+    python -m repro.experiments.cli serve --artifact m.npz --requests 64
+
+Every experiment command prints the paper-style table to stdout;
+``--csv PATH`` / ``--markdown PATH`` write machine-readable copies where
+supported (``table3``, ``fig5``, ``significance``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 
 from repro.data.amazon import BenchmarkScale, make_amazon_like_benchmark
@@ -35,7 +42,7 @@ from repro.experiments import (
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.experiments",
-        description="Regenerate MetaDPA paper tables and figures.",
+        description="Regenerate MetaDPA paper tables/figures and serve models.",
     )
     parser.add_argument("--seed", type=int, default=0, help="benchmark generation seed")
     parser.add_argument("--user-base", type=int, default=240, help="benchmark scale")
@@ -46,12 +53,15 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--profile", choices=("full", "fast"), default="full")
         p.add_argument("--seeds", type=int, nargs="+", default=[0])
 
+    def exports(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--csv", type=Path, default=None)
+        p.add_argument("--markdown", type=Path, default=None)
+
     sub.add_parser("stats", help="Tables I-II: dataset statistics")
 
     p = sub.add_parser("table3", help="Table III: overall comparison")
     common(p)
-    p.add_argument("--csv", type=Path, default=None)
-    p.add_argument("--markdown", type=Path, default=None)
+    exports(p)
 
     for fig, target in (("fig3", "Books"), ("fig4", "CDs")):
         p = sub.add_parser(fig, help=f"Figure {fig[-1]}: NDCG@k curves on {target}")
@@ -60,6 +70,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig5", help="Figure 5: ME/MDI ablation")
     common(p)
+    exports(p)
     p.add_argument("--target", default="CDs")
 
     sub.add_parser("fig6", help="Figure 6: scalability")
@@ -71,14 +82,137 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("significance", help="Sec. V-D: Wilcoxon tests")
     common(p)
+    exports(p)
     p.add_argument("--target", default="CDs")
+
+    # -- serving lifecycle ---------------------------------------------
+    p = sub.add_parser("train", help="fit a method and save a serving artifact")
+    p.add_argument("--method", required=True, help="registered method name")
+    p.add_argument("--profile", choices=("full", "fast"), default="full")
+    p.add_argument("--target", default="CDs", help="target domain to fit on")
+    p.add_argument("--out", type=Path, required=True, help="artifact path (.npz)")
+    p.add_argument(
+        "--config",
+        default=None,
+        help='JSON dict of config overrides, e.g. \'{"cvae_epochs": 60}\'',
+    )
+
+    p = sub.add_parser("recommend", help="top-k items for a user from an artifact")
+    p.add_argument("--artifact", type=Path, required=True)
+    p.add_argument("--user", type=int, required=True, help="user row to serve")
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument(
+        "--include-seen",
+        action="store_true",
+        help="rank already-interacted items too",
+    )
+
+    p = sub.add_parser("serve", help="replay a request workload through the service")
+    p.add_argument("--artifact", type=Path, required=True)
+    p.add_argument("--requests", type=int, default=64, help="requests to replay")
+    p.add_argument("--distinct-users", type=int, default=8, help="user pool size")
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument("--cache-size", type=int, default=256)
+    p.add_argument("--batch", action="store_true", help="enable micro-batching")
     return parser
+
+
+def _run_train(args: argparse.Namespace) -> int:
+    from repro.data.experiment import prepare_experiment
+    from repro.registry import build_method
+    from repro.utils.timing import Timer
+
+    overrides = json.loads(args.config) if args.config else {}
+    if not isinstance(overrides, dict):
+        raise SystemExit("--config must be a JSON object")
+    method = build_method(
+        {"name": args.method, **overrides}, seed=args.seed, profile=args.profile
+    )
+    if not method.supports_serialization():
+        from repro.registry import method_names
+
+        supported = sorted(
+            name
+            for name in method_names()
+            if build_method({"name": name}).supports_serialization()
+        )
+        raise SystemExit(
+            f"{args.method} does not support artifact serialization yet; "
+            f"serializable methods: {supported}"
+        )
+    dataset = make_amazon_like_benchmark(
+        scale=BenchmarkScale(user_base=args.user_base, item_base=args.item_base),
+        seed=args.seed,
+    )
+    print(f"Preparing experiment on {args.target} (seed {args.seed}) ...")
+    experiment = prepare_experiment(dataset, args.target, seed=args.seed)
+    print(f"Fitting {args.method} (profile {args.profile}) ...")
+    with Timer() as timer:
+        method.fit(experiment.ctx)
+    path = method.save(args.out)
+    print(f"Fitted in {timer.elapsed:.1f}s; artifact written to {path}")
+    return 0
+
+
+def _run_recommend(args: argparse.Namespace) -> int:
+    from repro.core.interface import Recommender
+
+    method = Recommender.load(args.artifact)
+    result = method.recommend(
+        args.user, k=args.k, exclude_seen=not args.include_seen
+    )
+    print(f"Top-{args.k} items for user {args.user} ({method.name}):")
+    print(f"{'rank':>4} {'item':>6} {'score':>10}")
+    for rank, (item, score) in enumerate(zip(result.items, result.scores), start=1):
+        print(f"{rank:>4} {item:>6} {score:>10.4f}")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.service import RecommenderService
+    from repro.utils.timing import Timer
+
+    service = RecommenderService.from_artifact(
+        args.artifact, cache_size=args.cache_size, batching=args.batch
+    )
+    n_users = service.method.serving.n_users
+    rng = np.random.default_rng(args.seed)
+    users = rng.integers(0, n_users, size=min(args.distinct_users, n_users))
+    workload = rng.choice(users, size=args.requests)
+    print(
+        f"Replaying {args.requests} requests over {users.size} users "
+        f"(cache_size={args.cache_size}, batching={args.batch}) ..."
+    )
+    with Timer() as timer:
+        for user in workload:
+            service.recommend(int(user), k=args.k)
+    service.close()
+    stats = service.stats()
+    throughput = args.requests / max(timer.elapsed, 1e-9)
+    print(f"Served {args.requests} requests in {timer.elapsed:.3f}s "
+          f"({throughput:.0f} req/s)")
+    print(f"Stats: {json.dumps(stats)}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "train":
+        return _run_train(args)
+    if args.command == "recommend":
+        return _run_recommend(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "fig6":
-        print(run_scalability().format_table())
+        result = run_scalability(
+            seed=args.seed,
+            scale=BenchmarkScale(
+                user_base=args.user_base, item_base=args.item_base
+            ),
+        )
+        print(result.format_table())
         return 0
 
     dataset = make_amazon_like_benchmark(
@@ -111,6 +245,14 @@ def main(argv: list[str] | None = None) -> int:
             dataset, target=args.target, seeds=seeds, profile=args.profile
         )
         print(result.format_table())
+        if args.csv:
+            from repro.eval.reports import ablation_to_csv
+
+            args.csv.write_text(ablation_to_csv(result))
+        if args.markdown:
+            from repro.eval.reports import ablation_to_markdown
+
+            args.markdown.write_text(ablation_to_markdown(result))
     elif args.command in ("fig7", "fig8"):
         param = "beta1" if args.command == "fig7" else "beta2"
         result = run_hyperparam_sweep(
@@ -122,6 +264,14 @@ def main(argv: list[str] | None = None) -> int:
             dataset, target=args.target, seeds=seeds, profile=args.profile
         )
         print(report.format_table())
+        if args.csv:
+            from repro.eval.reports import significance_to_csv
+
+            args.csv.write_text(significance_to_csv(report))
+        if args.markdown:
+            from repro.eval.reports import significance_to_markdown
+
+            args.markdown.write_text(significance_to_markdown(report))
     return 0
 
 

@@ -17,7 +17,7 @@ from repro.data.domain import MultiDomainDataset
 from repro.data.experiment import prepare_experiment
 from repro.data.splits import Scenario
 from repro.eval.protocol import evaluate_prepared
-from repro.experiments.registry import make_method
+from repro.registry import make_method
 from repro.meta import MetaDPAConfig
 
 DEFAULT_GRID = (1e-2, 1e-1, 1.0, 1e1, 1e2)

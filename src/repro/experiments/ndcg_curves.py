@@ -15,7 +15,7 @@ from repro.data.domain import MultiDomainDataset
 from repro.data.experiment import prepare_experiment
 from repro.data.splits import Scenario
 from repro.eval.protocol import evaluate_prepared
-from repro.experiments.registry import TABLE3_METHODS, make_method
+from repro.registry import TABLE3_METHODS, make_method
 
 DEFAULT_KS = (5, 10, 15, 20, 25, 30)
 

@@ -1,102 +1,52 @@
-"""Method registry: build any evaluated method by name with a budget profile.
+"""Compatibility shim over :mod:`repro.registry`.
 
-The "full" profile uses each method's validated default budget; "fast"
-shrinks training so the entire Table III fits in a CI benchmark run.  The
-relative budgets stay comparable across methods within a profile.
+The lambda-based registry that used to live here was replaced by typed
+per-method config dataclasses (see :mod:`repro.registry`); experiment
+runners and external callers keep importing ``make_method`` /
+``method_names`` / ``TABLE3_METHODS`` from this module unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
-from repro.baselines import CATN, CoNN, DAML, MeLU, MetaCF, NeuMF, Popularity, TDAR
 from repro.core.interface import Recommender
-from repro.meta import MetaDPA, MetaDPAConfig
-
-PROFILES = ("full", "fast")
+from repro.registry import (
+    PROFILES,
+    TABLE3_METHODS,
+    build_method,
+    config_class,
+    make_method,
+    method_names,
+)
 
 
 @dataclass(frozen=True)
 class MethodSpec:
-    """A named method constructor."""
+    """A named method constructor (legacy interface).
+
+    Calls route through :func:`repro.registry.build_method`, so profiles
+    *and* keyword overrides are validated against the method's config
+    fields — unknown keys raise with the list of valid fields instead of
+    silently passing through.
+    """
 
     name: str
-    build: Callable[[int, str], Recommender]
 
-    def __call__(self, seed: int = 0, profile: str = "full") -> Recommender:
-        if profile not in PROFILES:
-            raise ValueError(f"unknown profile {profile!r}; use one of {PROFILES}")
-        return self.build(seed, profile)
-
-
-def _metadpa(seed: int, profile: str, **overrides) -> MetaDPA:
-    fast = profile == "fast"
-    config = MetaDPAConfig(
-        cvae_epochs=60 if fast else 300,
-        meta_epochs=6 if fast else 30,
-        **overrides,
-    )
-    return MetaDPA(config, seed=seed)
+    def __call__(
+        self, seed: int = 0, profile: str = "full", **overrides
+    ) -> Recommender:
+        return build_method(
+            {"name": self.name, **overrides}, seed=seed, profile=profile
+        )
 
 
-_REGISTRY: dict[str, MethodSpec] = {}
-
-
-def _register(name: str, build: Callable[[int, str], Recommender]) -> None:
-    _REGISTRY[name] = MethodSpec(name=name, build=build)
-
-
-_register("Popularity", lambda seed, profile: Popularity(seed=seed))
-_register(
-    "NeuMF",
-    lambda seed, profile: NeuMF(epochs=5 if profile == "fast" else 20, seed=seed),
-)
-_register(
-    "MeLU",
-    lambda seed, profile: MeLU(meta_epochs=6 if profile == "fast" else 30, seed=seed),
-)
-_register(
-    "MetaCF",
-    lambda seed, profile: MetaCF(meta_epochs=5 if profile == "fast" else 20, seed=seed),
-)
-_register(
-    "CoNN",
-    lambda seed, profile: CoNN(epochs=4 if profile == "fast" else 15, seed=seed),
-)
-_register(
-    "DAML",
-    lambda seed, profile: DAML(epochs=4 if profile == "fast" else 15, seed=seed),
-)
-_register(
-    "TDAR",
-    lambda seed, profile: TDAR(epochs=4 if profile == "fast" else 15, seed=seed),
-)
-_register(
-    "CATN",
-    lambda seed, profile: CATN(epochs=4 if profile == "fast" else 15, seed=seed),
-)
-_register("MetaDPA", _metadpa)
-# Ablation variants of Fig. 5: the paper's naming is "the variant keeps only
-# that constraint" (MetaDPA-ME keeps ME and drops MDI, and vice versa).
-_register("MetaDPA-ME", lambda seed, profile: _metadpa(seed, profile, beta1=0.0))
-_register("MetaDPA-MDI", lambda seed, profile: _metadpa(seed, profile, beta2=0.0))
-_register(
-    "MetaDPA-NoAug",
-    lambda seed, profile: _metadpa(seed, profile, use_augmentation=False),
-)
-
-#: The paper's Table III row order.
-TABLE3_METHODS = ("NeuMF", "MeLU", "CoNN", "TDAR", "CATN", "DAML", "MetaCF", "MetaDPA")
-
-
-def make_method(name: str, seed: int = 0, profile: str = "full") -> Recommender:
-    """Instantiate a registered method."""
-    if name not in _REGISTRY:
-        raise KeyError(f"unknown method {name!r}; known: {sorted(_REGISTRY)}")
-    return _REGISTRY[name](seed=seed, profile=profile)
-
-
-def method_names() -> list[str]:
-    """All registered method names."""
-    return sorted(_REGISTRY)
+__all__ = [
+    "MethodSpec",
+    "PROFILES",
+    "TABLE3_METHODS",
+    "build_method",
+    "config_class",
+    "make_method",
+    "method_names",
+]

@@ -20,9 +20,9 @@ import numpy as np
 
 from repro.cvae.model import CVAEConfig, DualCVAE
 from repro.cvae.trainer import DualCVAETrainer, TrainerConfig
-from repro.data.amazon import make_amazon_like_benchmark
+from repro.data.amazon import BenchmarkScale, make_amazon_like_benchmark
 from repro.data.experiment import prepare_experiment
-from repro.experiments.registry import make_method
+from repro.registry import make_method
 from repro.utils.timing import Timer
 
 DEFAULT_FRACTIONS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
@@ -67,6 +67,7 @@ def run_scalability(
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     seed: int = 0,
     meta_batch_tasks: int = 16,
+    scale: BenchmarkScale | None = None,
 ) -> ScalabilityResult:
     """Time one epoch of each MetaDPA block at several data-size fractions.
 
@@ -74,11 +75,14 @@ def run_scalability(
     with the number of shared users and items).  Block 2 runs one generation
     pass over a fixed batch of users.  Block 3 runs one MAML meta-step over
     a fixed number of tasks.  Blocks 2–3 operate on fixed-size batches, so
-    their cost must stay flat as the dataset grows.
+    their cost must stay flat as the dataset grows.  ``seed`` and ``scale``
+    control the generated benchmark exactly like in the other runners.
     """
     result = ScalabilityResult(fractions=list(fractions))
     for fraction in fractions:
-        dataset = make_amazon_like_benchmark(seed=seed, fraction=fraction)
+        dataset = make_amazon_like_benchmark(
+            scale=scale, seed=seed, fraction=fraction
+        )
         pair = dataset.pairs[("Electronics", "Books")]
 
         trainer = DualCVAETrainer(

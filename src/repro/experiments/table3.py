@@ -15,7 +15,7 @@ from repro.data.domain import MultiDomainDataset
 from repro.data.experiment import prepare_experiment
 from repro.data.splits import Scenario
 from repro.eval.protocol import evaluate_prepared
-from repro.experiments.registry import TABLE3_METHODS, make_method
+from repro.registry import TABLE3_METHODS, make_method
 
 METRIC_NAMES = ("hr", "mrr", "ndcg", "auc")
 

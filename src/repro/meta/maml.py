@@ -156,6 +156,52 @@ class MAML:
         )
 
 
+def batched_candidate_scores(
+    maml: MAML,
+    user_content: np.ndarray,
+    item_content: np.ndarray,
+    states: Sequence[Params | None],
+    instances: Sequence,
+) -> list[np.ndarray]:
+    """Score many eval instances in as few forwards as possible.
+
+    Instances sharing the same adapted parameter dict (by identity — e.g.
+    un-adapted requests all using the meta-initialization, or several
+    requests for one cached user) are coalesced into a single ``predict``
+    over their concatenated candidate contents.  This is the vectorized
+    backend of ``score_with_state_batch`` for MAML-based methods.
+    """
+    if len(states) != len(instances):
+        raise ValueError("states and instances must align")
+    resolved = [s if s is not None else maml.params for s in states]
+    groups: dict[int, list[int]] = {}
+    for idx, params in enumerate(resolved):
+        groups.setdefault(id(params), []).append(idx)
+    results: list[np.ndarray | None] = [None] * len(instances)
+    for indices in groups.values():
+        params = resolved[indices[0]]
+        sizes = [instances[i].candidates.size for i in indices]
+        users = np.concatenate(
+            [
+                np.repeat(
+                    user_content[instances[i].user_row][None, :],
+                    instances[i].candidates.size,
+                    axis=0,
+                )
+                for i in indices
+            ]
+        )
+        items = np.concatenate(
+            [item_content[instances[i].candidates] for i in indices]
+        )
+        preds = maml.predict(users, items, params=params)
+        offset = 0
+        for i, size in zip(indices, sizes):
+            results[i] = preds[offset : offset + size]
+            offset += size
+    return results  # type: ignore[return-value]
+
+
 def subsample_support(
     task,
     rng: np.random.Generator,

@@ -29,10 +29,12 @@ from repro.meta.maml import (
     MAML,
     MAMLConfig,
     TaskBatchItem,
+    batched_candidate_scores,
     materialize_task,
     subsample_support,
 )
 from repro.meta.model import PreferenceModel, PreferenceModelConfig
+from repro.nn.module import Params
 from repro.utils.rng import spawn_rngs
 
 
@@ -105,6 +107,7 @@ class MetaDPA(Recommender):
         cfg = self.config
         aug_rng, maml_rng, sample_rng = spawn_rngs(self.seed, 3)
         self._ctx = ctx
+        self.attach_serving(ctx)
         domain = ctx.domain
 
         # Blocks 1 + 2: domain adaptation and diverse augmentation.
@@ -130,13 +133,7 @@ class MetaDPA(Recommender):
             self.augmented = None
 
         # Block 3: preference meta-learning over original + augmented tasks.
-        model = PreferenceModel(
-            PreferenceModelConfig(
-                content_dim=domain.user_content.shape[1],
-                embed_dim=cfg.embed_dim,
-                hidden_dims=cfg.hidden_dims,
-            )
-        )
+        model = self._build_model(domain.user_content.shape[1])
         self.maml = MAML(model, cfg.maml, seed=maml_rng)
         tasks = self._build_meta_tasks(ctx, sample_rng)
         self.meta_loss_history = self.maml.fit(tasks, epochs=cfg.meta_epochs)
@@ -161,12 +158,21 @@ class MetaDPA(Recommender):
                 items.append(self._materialize(augmented_task))
         return items
 
+    def _build_model(self, content_dim: int) -> PreferenceModel:
+        cfg = self.config
+        return PreferenceModel(
+            PreferenceModelConfig(
+                content_dim=content_dim,
+                embed_dim=cfg.embed_dim,
+                hidden_dims=cfg.hidden_dims,
+            )
+        )
+
     def _materialize(self, task: PreferenceTask) -> TaskBatchItem:
-        assert self._ctx is not None
-        domain = self._ctx.domain
+        serving = self.serving
         return materialize_task(
-            domain.user_content,
-            domain.item_content,
+            serving.user_content,
+            serving.item_content,
             task.user_row,
             task.support_items,
             task.support_labels,
@@ -175,21 +181,73 @@ class MetaDPA(Recommender):
         )
 
     # ------------------------------------------------------------------
+    def adapt_user(self, task: PreferenceTask | None):
+        """Fine-tune the meta-initialization on one user's support set.
+
+        This is the expensive per-user step of meta-testing (Sec. IV-C);
+        the serving layer caches its result so repeat requests skip it.
+        """
+        if self.maml is None:
+            raise RuntimeError("fit() must be called before adapt_user()")
+        if task is None or task.n_support == 0 or self.config.finetune_steps == 0:
+            return None
+        return self.maml.finetune(
+            self._materialize(task), steps=self.config.finetune_steps
+        )
+
+    def score_with_state(
+        self,
+        state,
+        instance: EvalInstance,
+        task: PreferenceTask | None = None,
+    ) -> np.ndarray:
+        if self.maml is None:
+            raise RuntimeError("fit() must be called before scoring")
+        serving = self.serving
+        params = state if state is not None else self.maml.params
+        candidates = instance.candidates
+        user_content = np.repeat(
+            serving.user_content[instance.user_row][None, :], candidates.size, axis=0
+        )
+        return self.maml.predict(
+            user_content, serving.item_content[candidates], params=params
+        )
+
+    def score_with_state_batch(self, states, instances) -> list[np.ndarray]:
+        if self.maml is None:
+            raise RuntimeError("fit() must be called before scoring")
+        serving = self.serving
+        return batched_candidate_scores(
+            self.maml, serving.user_content, serving.item_content, states, instances
+        )
+
     def score(
         self, task: PreferenceTask | None, instance: EvalInstance
     ) -> np.ndarray:
-        if self.maml is None or self._ctx is None:
-            raise RuntimeError("fit() must be called before score()")
-        domain = self._ctx.domain
-        params = self.maml.params
-        if task is not None and task.n_support > 0 and self.config.finetune_steps > 0:
-            params = self.maml.finetune(
-                self._materialize(task), steps=self.config.finetune_steps
-            )
-        candidates = instance.candidates
-        user_content = np.repeat(
-            domain.user_content[instance.user_row][None, :], candidates.size, axis=0
-        )
-        return self.maml.predict(
-            user_content, domain.item_content[candidates], params=params
-        )
+        return self.score_with_state(self.adapt_user(task), instance)
+
+    # ------------------------------------------------------------------
+    def config_dict(self) -> dict:
+        if self._method_config is not None:
+            return super().config_dict()
+        # Directly-constructed instance: flatten MetaDPAConfig (minus the
+        # nested MAML config, which stays at its defaults) so the artifact
+        # can still be rebuilt through the registry.
+        from dataclasses import asdict
+
+        flat = asdict(self.config)
+        flat.pop("maml", None)
+        flat["hidden_dims"] = list(flat["hidden_dims"])
+        return flat
+
+    def state_dict(self) -> Params:
+        if self.maml is None:
+            raise RuntimeError("fit() must be called before state_dict()")
+        return dict(self.maml.params)
+
+    def load_state_dict(self, state: Params) -> None:
+        model = self._build_model(self.serving.user_content.shape[1])
+        self.maml = MAML(model, self.config.maml, seed=self.seed)
+        self.maml.params = {
+            name: np.asarray(value) for name, value in state.items()
+        }

@@ -1,0 +1,398 @@
+"""Declarative method registry: typed configs, profiles, dict construction.
+
+Every evaluated method is described by a frozen :class:`MethodConfig`
+dataclass registered under a name with :func:`register_method`.  A config
+class declares the method's full hyper-parameter surface as typed fields
+(the field defaults *are* the "full" profile) plus per-profile presets, so
+any method is constructible from a plain dict/JSON::
+
+    build_method({"name": "MetaDPA", "profile": "fast", "cvae_epochs": 60})
+
+Unknown names, profiles and config keys are rejected with errors that list
+the valid alternatives — a config typo fails loudly instead of silently
+training with defaults.  :meth:`MethodConfig.to_dict` round-trips through
+JSON, which is how saved artifacts remember how to rebuild their method
+(:meth:`repro.core.Recommender.load`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar, Mapping
+
+from repro.baselines import CATN, CoNN, DAML, MeLU, MetaCF, NeuMF, Popularity, TDAR
+from repro.core.interface import Recommender
+from repro.meta import MetaDPA, MetaDPAConfig
+
+PROFILES = ("full", "fast")
+
+_REGISTRY: dict[str, type["MethodConfig"]] = {}
+
+
+def register_method(cls: type["MethodConfig"]) -> type["MethodConfig"]:
+    """Class decorator: register a :class:`MethodConfig` under ``cls.method``."""
+    name = cls.method
+    if not name:
+        raise ValueError(f"{cls.__name__} must set the `method` class attribute")
+    if name in _REGISTRY:
+        raise ValueError(f"method {name!r} is already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class MethodConfig:
+    """Base class for per-method configs.
+
+    Subclasses declare hyper-parameters as dataclass fields (defaults =
+    "full" profile), set ``method`` to their registry name, optionally
+    provide ``profiles`` presets, and implement :meth:`build`.
+    """
+
+    #: registry name; set by each subclass.
+    method: ClassVar[str] = ""
+    #: per-profile field presets, e.g. ``{"fast": {"epochs": 5}}``.
+    profiles: ClassVar[dict[str, dict[str, Any]]] = {}
+
+    def build(self, seed: int = 0) -> Recommender:
+        """Instantiate the configured method."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def field_names(cls) -> list[str]:
+        return [f.name for f in dataclasses.fields(cls)]
+
+    @classmethod
+    def from_dict(
+        cls, overrides: Mapping[str, Any] | None = None, profile: str | None = None
+    ) -> "MethodConfig":
+        """Build a config from a profile preset plus explicit overrides.
+
+        Overrides win over the preset; unknown keys raise a ``ValueError``
+        listing the valid fields, unknown profiles one listing the valid
+        profiles.
+        """
+        if profile is not None and profile not in PROFILES:
+            raise ValueError(
+                f"unknown profile {profile!r} for {cls.method!r}; "
+                f"use one of {PROFILES}"
+            )
+        overrides = dict(overrides or {})
+        valid = cls.field_names()
+        unknown = sorted(set(overrides) - set(valid))
+        if unknown:
+            raise ValueError(
+                f"unknown config key(s) {unknown} for method {cls.method!r}; "
+                f"valid fields: {sorted(valid)}"
+            )
+        merged = {**cls.profiles.get(profile or "full", {}), **overrides}
+        # JSON round-trips turn tuples into lists; dataclass fields that
+        # expect tuples (e.g. hidden_dims) get them back here.
+        merged = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in merged.items()
+        }
+        return cls(**merged)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able field dict (tuples become lists)."""
+        out: dict[str, Any] = {}
+        for name, value in dataclasses.asdict(self).items():
+            out[name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+
+# ----------------------------------------------------------------------
+# Per-method configs.  Field defaults are the validated "full" budgets the
+# experiments use; "fast" shrinks training so the whole Table III fits in a
+# CI run while relative budgets stay comparable across methods.
+# ----------------------------------------------------------------------
+
+
+@register_method
+@dataclass(frozen=True)
+class PopularityConfig(MethodConfig):
+    method: ClassVar[str] = "Popularity"
+
+    def build(self, seed: int = 0) -> Recommender:
+        return Popularity(seed=seed)
+
+
+@register_method
+@dataclass(frozen=True)
+class NeuMFConfig(MethodConfig):
+    method: ClassVar[str] = "NeuMF"
+    profiles: ClassVar[dict] = {"fast": {"epochs": 5}}
+
+    embed_dim: int = 16
+    hidden_dims: tuple[int, ...] = (32, 16)
+    epochs: int = 20
+    lr: float = 5e-3
+
+    def build(self, seed: int = 0) -> Recommender:
+        return NeuMF(
+            embed_dim=self.embed_dim,
+            hidden_dims=self.hidden_dims,
+            epochs=self.epochs,
+            lr=self.lr,
+            seed=seed,
+        )
+
+
+@register_method
+@dataclass(frozen=True)
+class MeLUConfig(MethodConfig):
+    method: ClassVar[str] = "MeLU"
+    profiles: ClassVar[dict] = {"fast": {"meta_epochs": 6}}
+
+    embed_dim: int = 32
+    hidden_dims: tuple[int, ...] = (64, 32)
+    meta_epochs: int = 30
+    finetune_steps: int = 5
+    few_shot_views: bool = True
+
+    def build(self, seed: int = 0) -> Recommender:
+        return MeLU(
+            embed_dim=self.embed_dim,
+            hidden_dims=self.hidden_dims,
+            meta_epochs=self.meta_epochs,
+            finetune_steps=self.finetune_steps,
+            few_shot_views=self.few_shot_views,
+            seed=seed,
+        )
+
+
+@register_method
+@dataclass(frozen=True)
+class MetaCFConfig(MethodConfig):
+    method: ClassVar[str] = "MetaCF"
+    profiles: ClassVar[dict] = {"fast": {"meta_epochs": 5}}
+
+    embed_dim: int = 24
+    hidden_dims: tuple[int, ...] = (32,)
+    meta_epochs: int = 20
+    inner_lr: float = 0.05
+    inner_steps: int = 2
+    outer_lr: float = 1e-3
+    meta_batch_size: int = 16
+    n_potential: int = 2
+    finetune_steps: int = 5
+
+    def build(self, seed: int = 0) -> Recommender:
+        return MetaCF(
+            embed_dim=self.embed_dim,
+            hidden_dims=self.hidden_dims,
+            meta_epochs=self.meta_epochs,
+            inner_lr=self.inner_lr,
+            inner_steps=self.inner_steps,
+            outer_lr=self.outer_lr,
+            meta_batch_size=self.meta_batch_size,
+            n_potential=self.n_potential,
+            finetune_steps=self.finetune_steps,
+            seed=seed,
+        )
+
+
+@register_method
+@dataclass(frozen=True)
+class CoNNConfig(MethodConfig):
+    method: ClassVar[str] = "CoNN"
+    profiles: ClassVar[dict] = {"fast": {"epochs": 4}}
+
+    embed_dim: int = 32
+    hidden_dims: tuple[int, ...] = (64, 32)
+    epochs: int = 15
+    lr: float = 1e-3
+
+    def build(self, seed: int = 0) -> Recommender:
+        return CoNN(
+            embed_dim=self.embed_dim,
+            hidden_dims=self.hidden_dims,
+            epochs=self.epochs,
+            lr=self.lr,
+            seed=seed,
+        )
+
+
+@register_method
+@dataclass(frozen=True)
+class DAMLConfig(MethodConfig):
+    method: ClassVar[str] = "DAML"
+    profiles: ClassVar[dict] = {"fast": {"epochs": 4}}
+
+    embed_dim: int = 32
+    hidden_dims: tuple[int, ...] = (32,)
+    epochs: int = 15
+    lr: float = 1e-3
+
+    def build(self, seed: int = 0) -> Recommender:
+        return DAML(
+            embed_dim=self.embed_dim,
+            hidden_dims=self.hidden_dims,
+            epochs=self.epochs,
+            lr=self.lr,
+            seed=seed,
+        )
+
+
+@register_method
+@dataclass(frozen=True)
+class TDARConfig(MethodConfig):
+    method: ClassVar[str] = "TDAR"
+    profiles: ClassVar[dict] = {"fast": {"epochs": 4}}
+
+    embed_dim: int = 32
+    epochs: int = 15
+    lr: float = 1e-3
+    align_weight: float = 0.5
+    source_weight: float = 0.5
+    n_neg_per_pos: int = 4
+
+    def build(self, seed: int = 0) -> Recommender:
+        return TDAR(
+            embed_dim=self.embed_dim,
+            epochs=self.epochs,
+            lr=self.lr,
+            align_weight=self.align_weight,
+            source_weight=self.source_weight,
+            n_neg_per_pos=self.n_neg_per_pos,
+            seed=seed,
+        )
+
+
+@register_method
+@dataclass(frozen=True)
+class CATNConfig(MethodConfig):
+    method: ClassVar[str] = "CATN"
+    profiles: ClassVar[dict] = {"fast": {"epochs": 4}}
+
+    n_aspects: int = 8
+    scale: float = 4.0
+    epochs: int = 15
+    lr: float = 1e-3
+    source_weight: float = 0.5
+    n_neg_per_pos: int = 4
+
+    def build(self, seed: int = 0) -> Recommender:
+        return CATN(
+            n_aspects=self.n_aspects,
+            scale=self.scale,
+            epochs=self.epochs,
+            lr=self.lr,
+            source_weight=self.source_weight,
+            n_neg_per_pos=self.n_neg_per_pos,
+            seed=seed,
+        )
+
+
+@register_method
+@dataclass(frozen=True)
+class MetaDPASpec(MethodConfig):
+    """Flat (JSON-able) view of :class:`repro.meta.MetaDPAConfig`."""
+
+    method: ClassVar[str] = "MetaDPA"
+    profiles: ClassVar[dict] = {"fast": {"cvae_epochs": 60, "meta_epochs": 6}}
+
+    beta1: float = 0.1
+    beta2: float = 1.0
+    latent_dim: int = 16
+    cvae_hidden_dim: int = 64
+    cvae_epochs: int = 300
+    cvae_lr: float = 3e-3
+    embed_dim: int = 32
+    hidden_dims: tuple[int, ...] = (64, 32)
+    meta_epochs: int = 30
+    finetune_steps: int = 5
+    use_augmentation: bool = True
+    augmentation_weight: float = 1.0
+    few_shot_views: bool = True
+    sharpen_augmented: bool = False
+
+    def build(self, seed: int = 0) -> Recommender:
+        fields = {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        return MetaDPA(MetaDPAConfig(**fields), seed=seed)
+
+
+# Ablation variants of Fig. 5: the paper's naming is "the variant keeps only
+# that constraint" (MetaDPA-ME keeps ME and drops MDI, and vice versa).
+
+
+@register_method
+@dataclass(frozen=True)
+class MetaDPAMESpec(MetaDPASpec):
+    method: ClassVar[str] = "MetaDPA-ME"
+
+    beta1: float = 0.0
+
+
+@register_method
+@dataclass(frozen=True)
+class MetaDPAMDISpec(MetaDPASpec):
+    method: ClassVar[str] = "MetaDPA-MDI"
+
+    beta2: float = 0.0
+
+
+@register_method
+@dataclass(frozen=True)
+class MetaDPANoAugSpec(MetaDPASpec):
+    method: ClassVar[str] = "MetaDPA-NoAug"
+
+    use_augmentation: bool = False
+
+
+#: The paper's Table III row order.
+TABLE3_METHODS = ("NeuMF", "MeLU", "CoNN", "TDAR", "CATN", "DAML", "MetaCF", "MetaDPA")
+
+
+# ----------------------------------------------------------------------
+# Construction entry points.
+# ----------------------------------------------------------------------
+
+
+def config_class(name: str) -> type[MethodConfig]:
+    """The registered config class for ``name``; KeyError lists known names."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown method {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[name]
+
+
+def build_method(
+    spec: str | Mapping[str, Any] | MethodConfig,
+    seed: int | None = None,
+    profile: str | None = None,
+) -> Recommender:
+    """Construct a method from a name, a config dict, or a config object.
+
+    Dict form: ``{"name": ..., "profile": ..., "seed": ..., **overrides}``;
+    the ``seed``/``profile`` arguments are fallbacks for keys absent from
+    the dict.  The built instance remembers its config so that
+    ``save``/``load`` round-trips reproduce it exactly.
+    """
+    if isinstance(spec, MethodConfig):
+        config = spec
+    else:
+        if isinstance(spec, str):
+            spec = {"name": spec}
+        overrides = dict(spec)
+        name = overrides.pop("name", None)
+        if not name:
+            raise ValueError("method spec dict requires a 'name' key")
+        seed = overrides.pop("seed", seed)
+        profile = overrides.pop("profile", profile)
+        config = config_class(name).from_dict(overrides, profile=profile)
+    method = config.build(seed=int(seed or 0))
+    method._method_config = config
+    return method
+
+
+def make_method(name: str, seed: int = 0, profile: str = "full") -> Recommender:
+    """Instantiate a registered method by name (compatibility entry point)."""
+    return build_method({"name": name}, seed=seed, profile=profile)
+
+
+def method_names() -> list[str]:
+    """All registered method names."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,171 @@
+"""Micro-batching request queue for the serving facade.
+
+Concurrent ``recommend`` calls each need one model forward; methods with
+vectorized ``score_with_state_batch`` implementations (MeLU, MetaDPA) do
+much better scoring many candidate lists in one forward.  The
+:class:`MicroBatcher` coalesces requests that arrive within a short window
+into a single batched call and distributes the per-request results through
+futures.
+
+The batching loop is factored into :meth:`process_once` so tests can drive
+it deterministically (``autostart=False``); in production a daemon worker
+thread runs it continuously.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.data.negative_sampling import EvalInstance
+
+#: signature of the batched scorer: (states, instances) -> list of score arrays
+BatchScoreFn = Callable[[Sequence[Any], Sequence[EvalInstance]], list[np.ndarray]]
+
+
+@dataclass
+class _Request:
+    state: Any
+    instance: EvalInstance
+    future: Future = field(default_factory=Future)
+
+
+class MicroBatcher:
+    """Coalesce concurrent scoring requests into batched calls.
+
+    Parameters
+    ----------
+    score_fn:
+        the batched scorer, typically a method's ``score_with_state_batch``.
+    max_batch:
+        largest number of requests folded into one call.
+    max_wait_ms:
+        after the first request of a batch arrives, how long to wait for
+        more before firing.  Small values trade a little latency for a lot
+        of throughput under concurrency.
+    autostart:
+        start the daemon worker thread; tests pass ``False`` and call
+        :meth:`process_once` by hand.
+    """
+
+    def __init__(
+        self,
+        score_fn: BatchScoreFn,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        autostart: bool = True,
+    ):
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self._score_fn = score_fn
+        self.max_batch = max_batch
+        self.max_wait = max_wait_ms / 1000.0
+        self._queue: queue.Queue[_Request | None] = queue.Queue()
+        self._closed = False
+        self.n_requests = 0
+        self.n_batches = 0
+        self.largest_batch = 0
+        self._worker: threading.Thread | None = None
+        if autostart:
+            self._worker = threading.Thread(
+                target=self._run, name="repro-microbatcher", daemon=True
+            )
+            self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, state: Any, instance: EvalInstance) -> Future:
+        """Enqueue one request; the future resolves to its score array."""
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        request = _Request(state=state, instance=instance)
+        self.n_requests += 1
+        self._queue.put(request)
+        return request.future
+
+    def score(self, state: Any, instance: EvalInstance) -> np.ndarray:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(state, instance).result()
+
+    # ------------------------------------------------------------------
+    def _collect(self, block: bool) -> list[_Request]:
+        """Gather one batch: first request, then drain within the window."""
+        batch: list[_Request] = []
+        try:
+            first = self._queue.get(block=block, timeout=0.1 if block else None)
+        except queue.Empty:
+            return batch
+        if first is None:  # close sentinel
+            return batch
+        batch.append(first)
+        deadline = time.monotonic() + self.max_wait
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                item = self._queue.get(
+                    block=remaining > 0, timeout=max(remaining, 0.0) or None
+                )
+            except queue.Empty:
+                break
+            if item is None:
+                break
+            batch.append(item)
+        return batch
+
+    def process_once(self, block: bool = False) -> int:
+        """Collect and score one batch; returns how many requests it served."""
+        batch = self._collect(block=block)
+        if not batch:
+            return 0
+        self.n_batches += 1
+        self.largest_batch = max(self.largest_batch, len(batch))
+        try:
+            scores = self._score_fn(
+                [r.state for r in batch], [r.instance for r in batch]
+            )
+            if len(scores) != len(batch):
+                raise RuntimeError(
+                    f"scorer returned {len(scores)} results for {len(batch)} requests"
+                )
+            for request, score in zip(batch, scores):
+                request.future.set_result(score)
+        except Exception as exc:  # propagate to every waiting caller
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+        return len(batch)
+
+    def _run(self) -> None:
+        while not self._closed:
+            self.process_once(block=True)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker; pending requests are still served."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)  # wake the worker so it can exit
+        if self._worker is not None:
+            self._worker.join(timeout=1.0)
+        # Serve anything that raced past the sentinel.
+        while self.process_once(block=False):
+            pass
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "requests": self.n_requests,
+            "batches": self.n_batches,
+            "largest_batch": self.largest_batch,
+        }

@@ -1,0 +1,68 @@
+"""A small LRU cache with hit/miss accounting.
+
+Used by :class:`repro.service.RecommenderService` to keep per-user adapted
+parameters: for meta-learners the adaptation (support-set fine-tuning) is
+orders of magnitude more expensive than a forward pass, so paying it once
+per user instead of once per request is the single biggest serving win.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Ordered-dict LRU with ``maxsize`` eviction and hit/miss counters."""
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, counting a hit or miss and refreshing recency."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/update ``key``, evicting the least-recent entry if full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it existed."""
+        return self._data.pop(key, _MISSING) is not _MISSING
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,195 @@
+"""`RecommenderService`: the serving facade over a fitted recommender.
+
+The facade owns everything a production endpoint needs around a model
+artifact:
+
+- the fitted :class:`~repro.core.Recommender` (in-process or loaded from a
+  ``save()`` artifact via :meth:`RecommenderService.from_artifact`),
+- an optional global candidate pool restricting what may be recommended,
+- an LRU cache of per-user adapted parameters, so the support-set
+  fine-tuning of meta-learners (MeLU, MetaDPA) is paid once per user
+  rather than once per request,
+- an optional micro-batching queue coalescing concurrent ``recommend``
+  calls into one vectorized ``score_with_state_batch``.
+
+A user's support set enters through ``recommend(..., task=...)`` or
+:meth:`register_user_history`; users without history are served from the
+un-adapted meta-initialization (or whatever the method's task-free
+behaviour is).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.interface import Recommendation, Recommender
+from repro.data.negative_sampling import EvalInstance
+from repro.data.tasks import PreferenceTask
+from repro.service.batching import MicroBatcher
+from repro.service.cache import LRUCache
+
+_MISS = object()
+
+
+class RecommenderService:
+    """Serve top-k recommendations from a fitted recommender."""
+
+    def __init__(
+        self,
+        method: Recommender,
+        candidate_pool: np.ndarray | None = None,
+        cache_size: int = 256,
+        batching: bool = False,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+    ):
+        self.method = method
+        serving = method.serving  # raises if the method is not fitted/loaded
+        if candidate_pool is None:
+            self._pool = np.arange(serving.n_items)
+        else:
+            self._pool = np.unique(np.asarray(candidate_pool, dtype=int))
+            if self._pool.size and (
+                self._pool[0] < 0 or self._pool[-1] >= serving.n_items
+            ):
+                raise ValueError("candidate_pool contains out-of-range item rows")
+        self._cache = LRUCache(maxsize=cache_size)
+        self._tasks: dict[int, PreferenceTask] = {}
+        self.n_requests = 0
+        self._batcher: MicroBatcher | None = None
+        if batching:
+            self._batcher = MicroBatcher(
+                method.score_with_state_batch,
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+            )
+
+    @classmethod
+    def from_artifact(cls, path: str | Path, **kwargs) -> "RecommenderService":
+        """Load a ``Recommender.save`` artifact and wrap it for serving."""
+        return cls(Recommender.load(path), **kwargs)
+
+    # ------------------------------------------------------------------
+    def register_user_history(self, task: PreferenceTask) -> None:
+        """Attach a support task to its user for adaptation on demand.
+
+        Any previously cached adaptation for that user is invalidated.
+        """
+        self._tasks[int(task.user_row)] = task
+        self._cache.invalidate(int(task.user_row))
+
+    def invalidate_user(self, user_row: int) -> None:
+        """Drop a user's cached adaptation (e.g. after new interactions)."""
+        self._cache.invalidate(int(user_row))
+
+    def _adapted_state(self, user_row: int, task: PreferenceTask | None):
+        key = int(user_row)
+        entry = self._cache.get(key, _MISS)
+        if entry is not _MISS:
+            cached_task, state = entry
+            # A caller explicitly passing a *different* task is announcing
+            # fresh history — the cached adaptation is stale for it.
+            if task is None or task is cached_task:
+                return state
+        effective = task if task is not None else self._tasks.get(key)
+        state = self.method.adapt_user(effective)
+        self._cache.put(key, (effective, state))
+        return state
+
+    def _candidates_for(self, user_row: int, exclude_seen: bool) -> np.ndarray:
+        serving = self.method.serving
+        if not 0 <= user_row < serving.n_users:
+            raise ValueError(
+                f"user_row {user_row} out of range [0, {serving.n_users})"
+            )
+        pool = self._pool
+        if exclude_seen:
+            pool = pool[~serving.seen[user_row, pool]]
+        return pool
+
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        user_row: int,
+        k: int = 10,
+        task: PreferenceTask | None = None,
+        exclude_seen: bool = True,
+    ) -> Recommendation:
+        """Top-``k`` unseen items for one user, with cached adaptation.
+
+        The first call for a user pays the method's ``adapt_user`` cost;
+        subsequent calls reuse the cached state and only pay one forward.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.n_requests += 1
+        state = self._adapted_state(user_row, task)
+        pool = self._candidates_for(int(user_row), exclude_seen)
+        if pool.size == 0:
+            empty = np.array([], dtype=int)
+            return Recommendation(int(user_row), empty, np.array([], dtype=float))
+        instance = EvalInstance(
+            user_row=int(user_row), pos_item=int(pool[0]), neg_items=pool[1:]
+        )
+        if self._batcher is not None:
+            scores = self._batcher.score(state, instance)
+        else:
+            scores = self.method.score_with_state(state, instance)
+        scores = np.asarray(scores, dtype=float)
+        order = np.argsort(-scores, kind="stable")[:k]
+        return Recommendation(int(user_row), pool[order], scores[order])
+
+    def recommend_many(
+        self,
+        user_rows: list[int],
+        k: int = 10,
+        exclude_seen: bool = True,
+    ) -> list[Recommendation]:
+        """Serve a batch of users through one ``score_with_state_batch``."""
+        states = [self._adapted_state(u, None) for u in user_rows]
+        pools = [self._candidates_for(int(u), exclude_seen) for u in user_rows]
+        kept = [i for i, pool in enumerate(pools) if pool.size > 0]
+        instances = [
+            EvalInstance(
+                user_row=int(user_rows[i]),
+                pos_item=int(pools[i][0]),
+                neg_items=pools[i][1:],
+            )
+            for i in kept
+        ]
+        self.n_requests += len(user_rows)
+        score_lists = self.method.score_with_state_batch(
+            [states[i] for i in kept], instances
+        )
+        empty = np.array([], dtype=int)
+        results = [
+            Recommendation(int(u), empty, np.array([], dtype=float))
+            for u in user_rows
+        ]
+        for i, scores in zip(kept, score_lists):
+            scores = np.asarray(scores, dtype=float)
+            order = np.argsort(-scores, kind="stable")[:k]
+            results[i] = Recommendation(
+                int(user_rows[i]), pools[i][order], scores[order]
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Request, cache and batching counters for observability."""
+        out = {"requests": self.n_requests, "cache": self._cache.stats()}
+        if self._batcher is not None:
+            out["batching"] = self._batcher.stats()
+        return out
+
+    def close(self) -> None:
+        if self._batcher is not None:
+            self._batcher.close()
+
+    def __enter__(self) -> "RecommenderService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
