@@ -1,5 +1,9 @@
 """Figure 5: ablation of the ME and MDI constraints on CDs.
 
+Runs the variants through the :mod:`repro.runner` grid engine and rebuilds
+the NDCG@k curves (and augmentation-diversity numbers) from the stored
+per-instance score lists.
+
 Expected shape: the full MetaDPA is at least as good as its single-
 constraint variants overall, and all augmented variants remain competitive
 with the no-augmentation meta-learner (MeLU).
@@ -8,24 +12,27 @@ with the no-augmentation meta-learner (MeLU).
 import numpy as np
 
 from repro.data.splits import Scenario
-from repro.experiments import run_ablation
 from repro.experiments.ablation import ABLATION_VARIANTS
+from repro.runner import DatasetSpec, GridSpec, ablation_from_store, run_grid
 
 
-def test_fig5_ablation(benchmark, dataset):
-    result = benchmark.pedantic(
-        run_ablation,
-        args=(dataset,),
-        kwargs=dict(
-            target="CDs",
-            variants=ABLATION_VARIANTS,
-            ks=(5, 10, 15, 20, 25, 30),
-            seeds=(0,),
-            profile="fast",
-        ),
-        rounds=1,
-        iterations=1,
+def test_fig5_ablation(benchmark, dataset, tmp_path):
+    spec = GridSpec(
+        methods=list(ABLATION_VARIANTS),
+        targets=["CDs"],
+        scenarios=list(Scenario),
+        seeds=[0],
+        profile="fast",
+        dataset=DatasetSpec(user_base=160, item_base=110, seed=0),
     )
+    run_dir = tmp_path / "fig5-grid"
+
+    def run_and_aggregate():
+        report = run_grid(spec, run_dir, workers=1, dataset=dataset)
+        assert report.ok, report.failures
+        return ablation_from_store(run_dir, ks=(5, 10, 15, 20, 25, 30))
+
+    result = benchmark.pedantic(run_and_aggregate, rounds=1, iterations=1)
     print("\n" + result.format_table())
 
     def mean_ndcg(variant: str) -> float:

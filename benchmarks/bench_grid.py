@@ -1,0 +1,63 @@
+"""Worker-count scaling of the grid engine.
+
+Runs one small grid cold at several worker counts (fresh run directory
+each time, dataset built inside the workers, prepared bundles shared
+through the on-disk cache) and once warm (resume from a completed store).
+``extra_info`` records the wall-clock per worker count and the resume time;
+on multi-core hardware the cold times should shrink with workers, and the
+warm relaunch should be near-instant regardless.
+"""
+
+import time
+
+from repro.runner import DatasetSpec, GridSpec, prepared, run_grid, table3_from_store
+
+
+def _make_spec() -> GridSpec:
+    return GridSpec(
+        methods=["Popularity", "NeuMF", "CoNN"],
+        targets=["Books"],
+        scenarios=["warm-start", "user cold-start"],
+        seeds=[0, 1],
+        profile="fast",
+        dataset=DatasetSpec(user_base=120, item_base=80, seed=0),
+    )
+
+
+def test_grid_worker_scaling(benchmark, tmp_path):
+    spec = _make_spec()
+    n_cells = len(spec.expand())
+    timings: dict[str, float] = {}
+    tables = {}
+
+    for workers in (1, 2, 4):
+        run_dir = tmp_path / f"grid-w{workers}"
+        prepared.clear_memos()  # cold: no in-process reuse between runs
+        started = time.perf_counter()
+        report = run_grid(spec, run_dir, workers=workers)
+        timings[f"cold_w{workers}_s"] = round(time.perf_counter() - started, 3)
+        assert report.ok, report.failures
+        assert report.n_computed == n_cells
+        tables[workers] = table3_from_store(run_dir)
+
+    # Every worker count lands on byte-identical aggregated metrics.
+    reference = tables[1]
+    for workers, table in tables.items():
+        for key, metrics in reference.cells.items():
+            for metric, values in metrics.items():
+                assert table.cells[key][metric] == values, (workers, key, metric)
+
+    # The timed benchmark is the warm relaunch: everything resumes.
+    warm_dir = tmp_path / "grid-w1"
+
+    def warm_relaunch():
+        return run_grid(spec, warm_dir, workers=1)
+
+    warm_report = benchmark.pedantic(warm_relaunch, rounds=1, iterations=1)
+    assert warm_report.n_computed == 0
+    assert warm_report.n_skipped == n_cells
+
+    timings["warm_resume_s"] = round(warm_report.elapsed, 3)
+    benchmark.extra_info.update(timings)
+    benchmark.extra_info["n_cells"] = n_cells
+    print("\n[grid scaling] " + "  ".join(f"{k}={v}" for k, v in timings.items()))

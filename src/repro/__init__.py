@@ -36,6 +36,7 @@ from repro.data import (
 )
 from repro.eval.protocol import evaluate_prepared, format_results_table
 from repro.meta import MAMLConfig, MetaDPA, MetaDPAConfig
+from repro.runner import GridSpec, RunStore, run_grid, table3_from_store
 
 __version__ = "0.1.0"
 
@@ -60,5 +61,9 @@ __all__ = [
     "MAMLConfig",
     "MetaDPA",
     "MetaDPAConfig",
+    "GridSpec",
+    "RunStore",
+    "run_grid",
+    "table3_from_store",
     "__version__",
 ]

@@ -13,7 +13,7 @@ For each scenario:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -39,6 +39,19 @@ class EvaluationResult:
     def ndcg_at(self, ks: list[int]) -> dict[int, float]:
         """NDCG@k curve over the stored per-instance score lists."""
         return ndcg_curve(self.score_lists, ks)
+
+
+def align_tasks(
+    tasks: Iterable[PreferenceTask], instances: Sequence[EvalInstance]
+) -> list[PreferenceTask | None]:
+    """The support task backing each instance's user (``None`` if task-free).
+
+    Methods receive tasks positionally aligned with the instances they
+    score; this is the single place that alignment is computed for the
+    evaluation entry points and the grid runner.
+    """
+    task_by_user = {task.user_row: task for task in tasks}
+    return [task_by_user.get(instance.user_row) for instance in instances]
 
 
 def resolve_method(method, seed: int = 0, profile: str | None = None) -> Recommender:
@@ -80,11 +93,7 @@ def evaluate_method(
     instances = build_eval_instances(
         domain, splits, scenario, tasks, n_negatives=n_negatives, rng=neg_rng
     )
-    task_by_user = {t.user_row: t for t in tasks}
-    aligned_tasks: list[PreferenceTask | None] = [
-        task_by_user.get(inst.user_row) for inst in instances
-    ]
-    score_lists = method.score_batch(aligned_tasks, instances)
+    score_lists = method.score_batch(align_tasks(tasks, instances), instances)
     return EvaluationResult(
         method=method.name,
         domain=domain.name,
@@ -116,11 +125,7 @@ def evaluate_prepared(
     for scenario in scenarios or list(experiment.task_sets):
         tasks = experiment.task_sets[scenario]
         instances = experiment.instances[scenario]
-        task_by_user = {t.user_row: t for t in tasks}
-        aligned: list[PreferenceTask | None] = [
-            task_by_user.get(inst.user_row) for inst in instances
-        ]
-        score_lists = method.score_batch(aligned, instances)
+        score_lists = method.score_batch(align_tasks(tasks, instances), instances)
         results[scenario] = EvaluationResult(
             method=method.name,
             domain=experiment.domain.name,

@@ -10,7 +10,6 @@ from __future__ import annotations
 import csv
 import io
 
-from repro.data.splits import Scenario
 from repro.experiments.table3 import METRIC_NAMES, Table3Result
 
 _METRIC_HEADERS = {"hr": "HR@10", "mrr": "MRR@10", "ndcg": "NDCG@10", "auc": "AUC"}
@@ -21,7 +20,7 @@ def table3_to_markdown(result: Table3Result, bold_best: bool = True) -> str:
     chunks: list[str] = []
     for target in result.targets:
         chunks.append(f"### Target domain: {target}\n")
-        for scenario in Scenario:
+        for scenario in result.scenarios:
             chunks.append(f"**{scenario.value}**\n")
             header = "| Method | " + " | ".join(
                 _METRIC_HEADERS[m] for m in METRIC_NAMES
@@ -53,7 +52,7 @@ def table3_to_csv(result: Table3Result) -> str:
     writer = csv.writer(buffer)
     writer.writerow(["target", "scenario", "method", "metric", "mean", "n_seeds"])
     for target in result.targets:
-        for scenario in Scenario:
+        for scenario in result.scenarios:
             for method in result.methods:
                 for metric in METRIC_NAMES:
                     writer.writerow(
@@ -100,7 +99,7 @@ def ablation_to_markdown(result) -> str:
             if variant in result.diversity:
                 chunks.append(f"| {variant} | {result.diversity[variant]:.4f} |")
         chunks.append("")
-    for scenario in Scenario:
+    for scenario in result.scenarios:
         chunks.append(f"**{scenario.value}**\n")
         chunks.append("| Variant | " + " | ".join(f"NDCG@{k}" for k in result.ks) + " |")
         chunks.append("|" + "---|" * (len(result.ks) + 1))

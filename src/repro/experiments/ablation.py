@@ -39,6 +39,8 @@ class AblationResult:
     seeds: list[int]
     curves: dict[tuple[Scenario, str], list[float]] = field(default_factory=dict)
     diversity: dict[str, float] = field(default_factory=dict)
+    #: scenario blocks the result covers (grid runs may evaluate a subset).
+    scenarios: list[Scenario] = field(default_factory=lambda: list(Scenario))
 
     def ndcg(self, scenario: Scenario, variant: str, k: int) -> float:
         return self.curves[(scenario, variant)][self.ks.index(k)]
@@ -52,7 +54,7 @@ class AblationResult:
             if variant in self.diversity:
                 lines.append(f"  {variant:<14} {self.diversity[variant]:.4f}")
         lines.append("")
-        for scenario in Scenario:
+        for scenario in self.scenarios:
             lines.append(f"--- {scenario.value} ---")
             lines.append(f"{'Variant':<14} " + " ".join(f"k={k:<6}" for k in self.ks))
             for variant in self.variants:

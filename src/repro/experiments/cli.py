@@ -16,6 +16,13 @@ Serving commands run the fit → save → load → recommend lifecycle::
     python -m repro.experiments.cli recommend --artifact m.npz --user 0 -k 10
     python -m repro.experiments.cli serve --artifact m.npz --requests 64
 
+Grid commands run sharded, resumable experiment grids (see
+:mod:`repro.runner`)::
+
+    python -m repro.experiments.cli grid run --run-dir runs/t3 --workers 4
+    python -m repro.experiments.cli grid status --run-dir runs/t3
+    python -m repro.experiments.cli grid report --run-dir runs/t3 --csv t3.csv
+
 Every experiment command prints the paper-style table to stdout;
 ``--csv PATH`` / ``--markdown PATH`` write machine-readable copies where
 supported (``table3``, ``fig5``, ``significance``).
@@ -114,6 +121,49 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=10)
     p.add_argument("--cache-size", type=int, default=256)
     p.add_argument("--batch", action="store_true", help="enable micro-batching")
+
+    # -- experiment grids ----------------------------------------------
+    p = sub.add_parser("grid", help="sharded, resumable experiment grids")
+    gsub = p.add_subparsers(dest="grid_command", required=True)
+
+    g = gsub.add_parser("run", help="execute (or resume) a grid into a run dir")
+    g.add_argument("--run-dir", type=Path, required=True)
+    g.add_argument("--spec", type=Path, default=None, help="GridSpec JSON file")
+    g.add_argument("--workers", type=int, default=1)
+    g.add_argument("--methods", nargs="+", default=None, help="registry names")
+    g.add_argument("--targets", nargs="+", default=None)
+    g.add_argument(
+        "--scenarios", nargs="+", default=None,
+        help='scenario names/values, e.g. WARM "user cold-start"',
+    )
+    g.add_argument("--seeds", type=int, nargs="+", default=None)
+    g.add_argument(
+        "--profile", choices=("full", "fast"), default=None,
+        help="training budget profile (default: fast)",
+    )
+    g.add_argument("--n-negatives", type=int, default=None)
+    g.add_argument("-k", type=int, default=None)
+    g.add_argument(
+        "--no-resume", action="store_true",
+        help="recompute every cell even if the run dir already has it",
+    )
+    g.add_argument(
+        "--rebind-spec", action="store_true",
+        help="rebind the run dir to a changed spec (completed cells whose "
+        "content hash still matches are reused)",
+    )
+
+    g = gsub.add_parser("status", help="completion state of a run dir")
+    g.add_argument("--run-dir", type=Path, required=True)
+
+    g = gsub.add_parser("report", help="aggregate a completed run dir")
+    g.add_argument("--run-dir", type=Path, required=True)
+    g.add_argument("--csv", type=Path, default=None)
+    g.add_argument("--markdown", type=Path, default=None)
+    g.add_argument(
+        "--significance", action="store_true",
+        help="also run the Wilcoxon test against the per-cell runner-up",
+    )
     return parser
 
 
@@ -197,8 +247,109 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _grid_spec_from_args(args: argparse.Namespace):
+    from repro.runner import DatasetSpec, GridSpec
+
+    if args.spec is not None:
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--methods", args.methods),
+                ("--targets", args.targets),
+                ("--scenarios", args.scenarios),
+                ("--seeds", args.seeds),
+                ("--profile", args.profile),
+                ("--n-negatives", args.n_negatives),
+                ("-k", args.k),
+            )
+            if value is not None
+        ]
+        # The global dataset flags default to 240/150/0 in _build_parser;
+        # any other value alongside --spec is a conflict too — the spec
+        # file's dataset block would silently win otherwise.
+        if (args.user_base, args.item_base, args.seed) != (240, 150, 0):
+            conflicting.append("--user-base/--item-base/--seed")
+        if conflicting:
+            raise SystemExit(
+                f"--spec is exclusive with inline grid flags; drop "
+                f"{', '.join(conflicting)} or edit the spec file instead"
+            )
+        return GridSpec.from_file(args.spec)
+    spec_kwargs = {
+        "profile": args.profile or "fast",
+        "n_negatives": args.n_negatives if args.n_negatives is not None else 99,
+        "k": args.k if args.k is not None else 10,
+        "dataset": DatasetSpec(
+            user_base=args.user_base, item_base=args.item_base, seed=args.seed
+        ),
+    }
+    if args.methods is not None:
+        spec_kwargs["methods"] = list(args.methods)
+    if args.targets is not None:
+        spec_kwargs["targets"] = list(args.targets)
+    if args.scenarios is not None:
+        spec_kwargs["scenarios"] = list(args.scenarios)
+    if args.seeds is not None:
+        spec_kwargs["seeds"] = list(args.seeds)
+    return GridSpec(**spec_kwargs)
+
+
+def _run_grid_command(args: argparse.Namespace) -> int:
+    from repro.runner import grid_status, run_grid, table3_from_store
+
+    if args.grid_command == "run":
+        spec = _grid_spec_from_args(args)
+        report = run_grid(
+            spec,
+            args.run_dir,
+            workers=args.workers,
+            resume=not args.no_resume,
+            force_spec=args.rebind_spec,
+            progress=print,
+        )
+        print(report.format_summary())
+        return 0 if report.ok else 1
+
+    if args.grid_command == "status":
+        print(grid_status(args.run_dir).format_table())
+        return 0
+
+    # report — file exports happen before the stdout print so a closed
+    # pipe (`... | head`) can never lose them.
+    result = table3_from_store(args.run_dir)
+    if args.csv:
+        from repro.eval.reports import table3_to_csv
+
+        args.csv.write_text(table3_to_csv(result))
+    if args.markdown:
+        from repro.eval.reports import table3_to_markdown
+
+        args.markdown.write_text(table3_to_markdown(result))
+    print(result.format_table())
+    if args.significance:
+        if len(result.seeds) < 3 or len(result.methods) < 2:
+            raise SystemExit(
+                "--significance needs at least 3 seeds and 2 methods in the grid"
+            )
+        ours = "MetaDPA" if "MetaDPA" in result.methods else result.methods[0]
+        for target in result.targets:
+            report = run_significance(
+                None,
+                target=target,
+                methods=tuple(result.methods),
+                seeds=tuple(result.seeds),
+                ours=ours,
+                table=result,
+            )
+            print()
+            print(report.format_table())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "grid":
+        return _run_grid_command(args)
     if args.command == "train":
         return _run_train(args)
     if args.command == "recommend":

@@ -68,7 +68,7 @@ def run_significance(
         )
     report = SignificanceReport(target=target, n_seeds=len(seeds))
     rivals = [m for m in methods if m != ours]
-    for scenario in Scenario:
+    for scenario in table.scenarios:
         for metric in METRIC_NAMES:
             runner_up = max(
                 rivals, key=lambda m: table.mean(target, scenario, m, metric)

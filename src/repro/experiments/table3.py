@@ -31,6 +31,8 @@ class Table3Result:
     cells: dict[tuple[str, Scenario, str], dict[str, list[float]]] = field(
         default_factory=dict
     )
+    #: scenario blocks the result covers (grid runs may evaluate a subset).
+    scenarios: list[Scenario] = field(default_factory=lambda: list(Scenario))
 
     def mean(self, target: str, scenario: Scenario, method: str, metric: str) -> float:
         return float(np.mean(self.cells[(target, scenario, method)][metric]))
@@ -52,7 +54,7 @@ class Table3Result:
         lines: list[str] = []
         for target in self.targets:
             lines.append(f"===== Target domain: {target} (mean of {len(self.seeds)} seeds) =====")
-            for scenario in Scenario:
+            for scenario in self.scenarios:
                 lines.append(f"--- {scenario.value} ---")
                 lines.append(
                     f"{'Method':<12} {'HR@10':>8} {'MRR@10':>8} {'NDCG@10':>8} {'AUC':>8}"

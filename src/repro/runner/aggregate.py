@@ -1,0 +1,192 @@
+"""Fold stored grid cells back into the repo's result objects.
+
+The grid engine persists raw per-cell score lists; these helpers rebuild the
+exact result objects the per-figure experiment code produces — a
+:class:`~repro.experiments.table3.Table3Result` for Table III and the
+significance test, an :class:`~repro.experiments.ablation.AblationResult`
+for Fig. 5 — so every existing report writer (console tables, CSV,
+Markdown) works on a grid run directory unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.splits import Scenario
+from repro.eval.metrics import ndcg_curve
+from repro.eval.protocol import EvaluationResult
+from repro.runner.spec import GridCell, GridSpec
+from repro.runner.store import CellResult, RunStore
+
+
+class IncompleteGridError(RuntimeError):
+    """Aggregation was asked for cells the store does not have yet."""
+
+
+@dataclass
+class GridStatus:
+    """Completion state of one grid run directory."""
+
+    run_dir: str
+    n_cells: int
+    n_complete: int
+    missing: list[GridCell] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+    def format_table(self) -> str:
+        lines = [
+            f"grid {self.run_dir}: {self.n_complete}/{self.n_cells} cells complete"
+        ]
+        by_unit: dict[tuple[str, int, str], int] = {}
+        for cell in self.missing:
+            unit = (cell.target, cell.seed, cell.method_label)
+            by_unit[unit] = by_unit.get(unit, 0) + 1
+        for (target, seed, label), count in sorted(by_unit.items()):
+            lines.append(
+                f"  missing {count} cell(s): {label} on {target} seed={seed}"
+            )
+        return "\n".join(lines)
+
+
+def _resolve(run: RunStore | str | Path, spec: GridSpec | None) -> tuple[RunStore, GridSpec]:
+    store = run if isinstance(run, RunStore) else RunStore(run)
+    return store, spec or store.load_spec()
+
+
+def grid_status(run: RunStore | str | Path, spec: GridSpec | None = None) -> GridStatus:
+    """How much of the grid is done, and which cells are still missing."""
+    store, spec = _resolve(run, spec)
+    cells = spec.expand()
+    missing = [cell for cell in cells if not store.is_complete(cell.key)]
+    return GridStatus(
+        run_dir=str(store.run_dir),
+        n_cells=len(cells),
+        n_complete=len(cells) - len(missing),
+        missing=missing,
+    )
+
+
+def load_cells(
+    run: RunStore | str | Path, spec: GridSpec | None = None
+) -> dict[tuple[str, Scenario, str, int], CellResult]:
+    """Every stored cell of the grid, keyed by (target, scenario, label, seed)."""
+    store, spec = _resolve(run, spec)
+    loaded: dict[tuple[str, Scenario, str, int], CellResult] = {}
+    missing: list[str] = []
+    for cell in spec.expand():
+        result = store.load_cell(cell.key)
+        if result is None:
+            missing.append(f"{cell.method_label}/{cell.target}/{cell.scenario.value}/seed{cell.seed}")
+            continue
+        loaded[(cell.target, cell.scenario, cell.method_label, cell.seed)] = result
+    if missing:
+        preview = ", ".join(missing[:6]) + ("…" if len(missing) > 6 else "")
+        raise IncompleteGridError(
+            f"{len(missing)} cell(s) missing from {store.run_dir} ({preview}); "
+            "run `grid run` to completion first"
+        )
+    return loaded
+
+
+def evaluation_results(
+    run: RunStore | str | Path, spec: GridSpec | None = None
+) -> dict[str, dict[Scenario, list[EvaluationResult]]]:
+    """Stored cells as ``results[label][scenario]`` → per-seed EvaluationResults."""
+    store, spec = _resolve(run, spec)
+    cells = load_cells(store, spec)
+    out: dict[str, dict[Scenario, list[EvaluationResult]]] = {}
+    for label in spec.method_labels:
+        per_scenario: dict[Scenario, list[EvaluationResult]] = {}
+        for scenario in spec.scenarios:
+            per_scenario[scenario] = [
+                _to_evaluation_result(cells[(target, scenario, label, seed)], scenario)
+                for target in spec.targets
+                for seed in spec.seeds
+            ]
+        out[label] = per_scenario
+    return out
+
+
+def _to_evaluation_result(cell: CellResult, scenario: Scenario) -> EvaluationResult:
+    return EvaluationResult(
+        method=cell.meta["method_label"],
+        domain=cell.meta["target"],
+        scenario=scenario,
+        metrics=cell.metrics,
+        score_lists=cell.score_lists,
+    )
+
+
+def table3_from_store(run: RunStore | str | Path, spec: GridSpec | None = None):
+    """Rebuild a :class:`Table3Result` (feeds CSV/Markdown/significance)."""
+    from repro.experiments.table3 import METRIC_NAMES, Table3Result
+
+    store, spec = _resolve(run, spec)
+    cells = load_cells(store, spec)
+    result = Table3Result(
+        targets=list(spec.targets),
+        methods=list(spec.method_labels),
+        seeds=list(spec.seeds),
+        scenarios=list(spec.scenarios),
+    )
+    for (target, scenario, label, _seed), cell in cells.items():
+        slot = result.cells.setdefault(
+            (target, scenario, label), {metric: [] for metric in METRIC_NAMES}
+        )
+        for metric in METRIC_NAMES:
+            slot[metric].append(getattr(cell.metrics, metric))
+    return result
+
+
+def ablation_from_store(
+    run: RunStore | str | Path,
+    spec: GridSpec | None = None,
+    ks: tuple[int, ...] | None = None,
+    target: str | None = None,
+):
+    """Rebuild a Fig.-5 :class:`AblationResult` from stored score lists.
+
+    NDCG@k curves are recomputed from the per-instance scores each cell
+    persisted; augmentation diversity comes from the ``extras`` the engine
+    recorded at fit time.
+    """
+    from repro.experiments.ablation import AblationResult
+    from repro.experiments.ndcg_curves import DEFAULT_KS
+
+    store, spec = _resolve(run, spec)
+    ks = tuple(ks or DEFAULT_KS)
+    target = target or spec.targets[0]
+    if target not in spec.targets:
+        raise ValueError(f"target {target!r} is not in the grid ({spec.targets})")
+    cells = load_cells(store, spec)
+
+    result = AblationResult(
+        target=target,
+        ks=list(ks),
+        variants=list(spec.method_labels),
+        seeds=list(spec.seeds),
+        scenarios=list(spec.scenarios),
+    )
+    diversity: dict[str, list[float]] = {}
+    for label in spec.method_labels:
+        for scenario in spec.scenarios:
+            rows = []
+            for seed in spec.seeds:
+                cell = cells[(target, scenario, label, seed)]
+                curve = ndcg_curve(cell.score_lists, list(ks))
+                rows.append([curve[k] for k in ks])
+            result.curves[(scenario, label)] = list(np.mean(np.asarray(rows), axis=0))
+        for seed in spec.seeds:
+            cell = cells[(target, spec.scenarios[0], label, seed)]
+            if "diversity" in cell.extras:
+                diversity.setdefault(label, []).append(float(cell.extras["diversity"]))
+    result.diversity = {
+        label: float(np.mean(values)) for label, values in diversity.items()
+    }
+    return result

@@ -1,0 +1,142 @@
+"""On-disk cache of :func:`repro.data.experiment.prepare_experiment` bundles.
+
+Preparing an experiment (cold-start splits, meta-test tasks, leave-one-out
+instances, leak-free visibility matrices) depends only on the dataset
+parameters, the target domain, the split seed and the scenario list — not on
+the method.  The per-figure runners used to redo it once per method; the
+grid engine pays it once per (target, seed) and shares the pickled bundle
+across every worker process through this cache.
+
+Writes are atomic (temp file + ``os.replace``), so racing workers at worst
+duplicate the preparation work — they never read a half-written bundle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import uuid
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.experiment import Experiment, prepare_experiment
+from repro.runner.spec import DatasetSpec, GridSpec, canonical_json
+
+#: per-process memo of built datasets, keyed by the dataset spec.
+_DATASET_MEMO: dict[str, object] = {}
+#: per-process memo of prepared experiments, keyed by bundle key.
+_PREPARED_MEMO: dict[str, Experiment] = {}
+
+
+def prepared_key(spec: GridSpec, target: str, seed: int) -> str:
+    """Content hash identifying one prepared bundle."""
+    payload = {
+        "dataset": spec.dataset.to_dict(),
+        "target": target,
+        "seed": seed,
+        "scenarios": [s.value for s in spec.scenarios],
+        "n_negatives": spec.n_negatives,
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:20]
+
+
+def get_dataset(dataset_spec: DatasetSpec):
+    """Build (or reuse) the benchmark dataset for this process."""
+    memo_key = canonical_json(dataset_spec.to_dict())
+    if memo_key not in _DATASET_MEMO:
+        _DATASET_MEMO[memo_key] = dataset_spec.build()
+    return _DATASET_MEMO[memo_key]
+
+
+def dataset_fingerprint(dataset) -> str:
+    """Content hash of a dataset's target rating matrices.
+
+    The synthetic benchmark is a deterministic function of its spec, so
+    this fingerprint identifies (scale, seed) — cheap enough to compute on
+    every preparation and strong enough to catch a run directory being fed
+    two different datasets.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(dataset.targets):
+        domain = dataset.targets[name]
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(domain.ratings).tobytes())
+    return digest.hexdigest()[:20]
+
+
+def _record_or_check_fingerprint(cache_dir: Path, dataset) -> None:
+    """First preparation records the dataset identity; later ones must match.
+
+    This is what keeps a run directory internally consistent when a caller
+    injects a prebuilt dataset: if the injected data differs from what the
+    stored cells were computed from (or from what spec-built workers will
+    use), the run fails loudly instead of silently mixing results.
+    """
+    fingerprint = dataset_fingerprint(dataset)
+    path = cache_dir / "dataset.fp"
+    if path.exists():
+        recorded = path.read_text().strip()
+        if recorded != fingerprint:
+            raise RuntimeError(
+                "dataset mismatch for this run directory: the dataset in use "
+                f"(fingerprint {fingerprint}) is not the one earlier cells were "
+                f"computed from ({recorded}); use a fresh run directory, or drop "
+                "the injected dataset so workers build it from the spec"
+            )
+        return
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex}")
+    tmp.write_text(fingerprint + "\n")
+    os.replace(tmp, path)
+
+
+def load_or_prepare(
+    spec: GridSpec,
+    target: str,
+    seed: int,
+    cache_dir: str | Path,
+    dataset=None,
+) -> Experiment:
+    """Return the prepared bundle for (target, seed), via memo → disk → build."""
+    cache_dir = Path(cache_dir)
+    if dataset is not None:
+        _record_or_check_fingerprint(cache_dir, dataset)
+    key = prepared_key(spec, target, seed)
+    if key in _PREPARED_MEMO:
+        return _PREPARED_MEMO[key]
+
+    path = cache_dir / f"{key}.pkl"
+    if path.exists():
+        try:
+            with path.open("rb") as fh:
+                experiment = pickle.load(fh)
+            _PREPARED_MEMO[key] = experiment
+            return experiment
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            pass  # corrupt/stale bundle: fall through and rebuild it
+
+    if dataset is None:
+        dataset = get_dataset(spec.dataset)
+        _record_or_check_fingerprint(cache_dir, dataset)
+    experiment = prepare_experiment(
+        dataset,
+        target,
+        seed=seed,
+        n_negatives=spec.n_negatives,
+        scenarios=list(spec.scenarios),
+    )
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex}")
+    with tmp.open("wb") as fh:
+        pickle.dump(experiment, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+    _PREPARED_MEMO[key] = experiment
+    return experiment
+
+
+def clear_memos() -> None:
+    """Drop per-process memos (tests use this to simulate fresh workers)."""
+    _DATASET_MEMO.clear()
+    _PREPARED_MEMO.clear()

@@ -1,0 +1,100 @@
+"""Golden regression of the evaluation + grid-runner path.
+
+``tests/golden/table3_mini.json`` pins the metrics of a small seeded grid
+(2 methods × 2 scenarios, the committed snapshot of a mini Table III).  A
+refactor of the metrics, the protocol, the prepared-experiment plumbing or
+the grid engine that shifts any reported number fails here instead of
+silently changing the paper tables.
+
+This module is also the acceptance test of the grid engine itself: the
+parallel run (``workers=4``) must reproduce the serial path exactly, and an
+immediate relaunch must resume with zero cells recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.data.experiment import prepare_experiment
+from repro.data.splits import Scenario
+from repro.eval.protocol import evaluate_prepared
+from repro.runner import GridSpec, run_grid, table3_from_store
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "table3_mini.json"
+METRIC_NAMES = ("hr", "mrr", "ndcg", "auc")
+TOLERANCE = 1e-6
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden_spec(golden) -> GridSpec:
+    return GridSpec.from_dict(golden["spec"])
+
+
+@pytest.fixture(scope="module")
+def grid_table(golden_spec, tmp_path_factory):
+    """One parallel grid run shared by the tests of this module."""
+    run_dir = tmp_path_factory.mktemp("golden-grid")
+    report = run_grid(golden_spec, run_dir, workers=4)
+    assert report.ok, report.failures
+    assert report.n_computed == len(golden_spec.expand())
+    return run_dir, table3_from_store(run_dir)
+
+
+def test_parallel_grid_matches_golden(golden, golden_spec, grid_table):
+    _, table = grid_table
+    for target, per_scenario in golden["metrics"].items():
+        for scenario_value, per_method in per_scenario.items():
+            scenario = Scenario(scenario_value)
+            for method, expected in per_method.items():
+                for metric in METRIC_NAMES:
+                    actual = table.mean(target, scenario, method, metric)
+                    assert actual == pytest.approx(
+                        expected[metric], abs=TOLERANCE
+                    ), f"{method}/{target}/{scenario_value}/{metric} drifted"
+
+
+def test_serial_path_matches_golden(golden, golden_spec, bench_dataset):
+    """The non-grid evaluation path must agree with the same snapshot.
+
+    ``bench_dataset`` is the very dataset the golden spec names (the
+    conftest fixture and the spec share scale and seed), so any divergence
+    here is an eval-path change, not a data change.
+    """
+    assert golden_spec.dataset.to_dict() == {"user_base": 120, "item_base": 80, "seed": 3}
+    target = golden_spec.targets[0]
+    experiment = prepare_experiment(
+        bench_dataset,
+        target,
+        seed=golden_spec.seeds[0],
+        n_negatives=golden_spec.n_negatives,
+        scenarios=list(golden_spec.scenarios),
+    )
+    for entry in golden_spec.methods:
+        label = golden_spec.method_label(entry)
+        results = evaluate_prepared(
+            golden_spec.resolve_method(entry),
+            experiment,
+            scenarios=list(golden_spec.scenarios),
+            k=golden_spec.k,
+        )
+        for scenario in golden_spec.scenarios:
+            expected = golden["metrics"][target][scenario.value][label]
+            for metric in METRIC_NAMES:
+                actual = getattr(results[scenario].metrics, metric)
+                assert actual == pytest.approx(expected[metric], abs=TOLERANCE)
+
+
+def test_relaunch_resumes_with_zero_recompute(golden_spec, grid_table):
+    run_dir, _ = grid_table
+    report = run_grid(golden_spec, run_dir, workers=4)
+    assert report.ok
+    assert report.n_computed == 0
+    assert report.n_skipped == len(golden_spec.expand())

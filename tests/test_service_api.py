@@ -382,6 +382,36 @@ class TestMicroBatcher:
         assert len(results) == 8
         assert all(np.array_equal(r, [0.0, 1.0, 2.0]) for r in results)
 
+    def test_close_flushes_partially_filled_batch(self):
+        # A long wait window keeps the batch open (3 of 64 slots filled);
+        # close() must serve those requests promptly, not wait the window
+        # out or drop them.
+        batcher = MicroBatcher(self._echo_scorer, max_batch=64, max_wait_ms=5000.0)
+        futures = [
+            batcher.submit(None, EvalInstance(u, 0, np.array([1, 2])))
+            for u in range(3)
+        ]
+        batcher.close()
+        for future in futures:
+            np.testing.assert_array_equal(
+                future.result(timeout=5.0), [0.0, 1.0, 2.0]
+            )
+        assert batcher.stats()["requests"] == 3
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(None, EvalInstance(9, 0, np.array([1])))
+
+    def test_close_without_worker_drains_queue(self):
+        batcher = MicroBatcher(self._echo_scorer, autostart=False)
+        futures = [
+            batcher.submit(None, EvalInstance(u, 0, np.array([1, 2])))
+            for u in range(3)
+        ]
+        batcher.close()  # no worker thread ever ran: close itself drains
+        for future in futures:
+            assert future.done()
+            np.testing.assert_array_equal(future.result(), [0.0, 1.0, 2.0])
+        assert batcher.n_batches >= 1 and batcher.largest_batch <= 3
+
     def test_submit_after_close_rejected(self):
         batcher = MicroBatcher(self._echo_scorer, autostart=False)
         batcher.close()
