@@ -4,13 +4,59 @@ Every benchmark regenerates one table or figure of the paper at a reduced
 ("fast") budget so the whole suite completes in minutes on a laptop.  Pass
 ``-s`` to see the regenerated tables; headline numbers are also attached to
 each benchmark's ``extra_info``.
+
+Machine-readable results: after a benchmark run, every benchmark writes a
+``BENCH_<name>.json`` file (wall time, throughput, ``extra_info``) into
+``benchmarks/results/`` (override with ``BENCH_RESULTS_DIR``), so the perf
+trajectory is trackable across PRs and CI uploads the files as artifacts.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import re
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.data.amazon import BenchmarkScale, make_amazon_like_benchmark
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<name>.json`` per completed benchmark."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    out_dir = Path(
+        os.environ.get("BENCH_RESULTS_DIR", Path(__file__).parent / "results")
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for bench in bench_session.benchmarks:
+        if getattr(bench, "has_error", False):
+            continue
+        stats = bench.stats
+        mean = float(stats.mean)
+        payload = {
+            "name": bench.name,
+            "fullname": bench.fullname,
+            "timestamp": time.time(),
+            "wall_time_seconds": {
+                "mean": mean,
+                "min": float(stats.min),
+                "max": float(stats.max),
+                "stddev": float(stats.stddev),
+                "rounds": int(stats.rounds),
+            },
+            "throughput_per_second": (1.0 / mean) if mean > 0 else None,
+            "extra_info": dict(bench.extra_info),
+        }
+        slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", bench.name)
+        path = out_dir / f"BENCH_{slug}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+        )
 
 
 @pytest.fixture(scope="session")

@@ -8,7 +8,10 @@ budget (about a minute on a laptop):
 3. build MetaDPA from a plain config dict and fit it,
 4. report HR@10 / MRR@10 / NDCG@10 / AUC on all four scenarios,
 5. save the fitted model to an artifact, reload it, and serve top-k
-   recommendations through :class:`repro.service.RecommenderService`.
+   recommendations through :class:`repro.service.RecommenderService` —
+   including a batch of cold-start users whose support-set fine-tuning
+   runs as ONE vectorized MAML inner loop (``adapt_users`` /
+   ``MAML.adapt_many``, the stacked-parameter adaptation API).
 
 Usage:  python examples/quickstart.py
 """
@@ -17,6 +20,7 @@ import tempfile
 from pathlib import Path
 
 from repro.data import make_amazon_like_benchmark, prepare_experiment
+from repro.data.splits import Scenario
 from repro.eval.protocol import evaluate_prepared, format_results_table
 from repro.registry import build_method
 from repro.service import RecommenderService
@@ -57,6 +61,19 @@ def main() -> None:
         top = service.recommend(user_row=0, k=5)
         print("Top-5 items for user 0:", [int(item) for item in top.items])
         top = service.recommend(user_row=0, k=5)  # served from the LRU cache
+
+        # A burst of cold-start users: register their support histories and
+        # serve them in one call — the facade fine-tunes every uncached user
+        # together through the method's batched `adapt_users` (one stacked
+        # inner loop), then scores them in one batched forward.
+        cold_tasks = list(experiment.task_sets[Scenario.C_U])[:8]
+        for task in cold_tasks:
+            service.register_user_history(task)
+        results = service.recommend_many([t.user_row for t in cold_tasks], k=5)
+        print(
+            f"Batch-served {len(results)} cold-start users; "
+            f"first user's top item: {int(results[0].items[0])}"
+        )
         print("Service stats:", service.stats())
 
 

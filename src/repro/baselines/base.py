@@ -6,7 +6,6 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.interface import FitContext
 from repro.data.tasks import TaskSet
 from repro.nn.module import Grads, Params
 from repro.nn.optim import Adam, clip_grad_norm

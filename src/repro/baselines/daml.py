@@ -25,7 +25,7 @@ from repro.data.tasks import PreferenceTask
 from repro.nn.layers import sigmoid
 from repro.nn.losses import binary_cross_entropy
 from repro.nn.module import Grads, Params, mlp
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import spawn_rngs
 
 
 class DAML(Recommender):

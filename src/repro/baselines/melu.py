@@ -20,6 +20,7 @@ from repro.data.tasks import PreferenceTask
 from repro.meta.maml import (
     MAML,
     MAMLConfig,
+    adapt_task_states,
     batched_candidate_scores,
     materialize_task,
     subsample_support,
@@ -111,6 +112,19 @@ class MeLU(Recommender):
         )
         return self.maml.finetune(item, steps=self.finetune_steps)
 
+    def adapt_users(self, tasks):
+        """Fine-tune a whole batch of users in one vectorized inner loop."""
+        if self.maml is None:
+            raise RuntimeError("fit() must be called before adapt_users()")
+        serving = self.serving
+        return adapt_task_states(
+            self.maml,
+            serving.user_content,
+            serving.item_content,
+            tasks,
+            self.finetune_steps,
+        )
+
     def score_with_state(
         self,
         state,
@@ -141,6 +155,12 @@ class MeLU(Recommender):
         self, task: PreferenceTask | None, instance: EvalInstance
     ) -> np.ndarray:
         return self.score_with_state(self.adapt_user(task), instance)
+
+    def score_batch(self, tasks, instances) -> list[np.ndarray]:
+        """Adapt every evaluated user in one batched inner loop, then score."""
+        if len(tasks) != len(instances):
+            raise ValueError("tasks and instances must align")
+        return self.score_with_state_batch(self.adapt_users(tasks), instances)
 
     # ------------------------------------------------------------------
     def state_dict(self) -> Params:

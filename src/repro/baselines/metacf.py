@@ -131,6 +131,26 @@ class MetaCF(Recommender):
             positives = task.support_items[:1]
         return self._extend_profile(positives.astype(int))
 
+    def _inner_adapt(
+        self,
+        profile: np.ndarray,
+        items: np.ndarray,
+        labels: np.ndarray,
+        steps: int,
+        params: Params | None = None,
+    ) -> Params:
+        """Fast-weight gradient steps on one task's support set.
+
+        The single inner-loop implementation shared by meta-training and
+        meta-testing fine-tuning (mirroring ``MAML.adapt``).
+        """
+        fast = dict(params if params is not None else self.params)
+        for _ in range(steps):
+            _, grads = self._loss_grads(fast, profile, items, labels)
+            for name, grad in grads.items():
+                fast[name] = fast[name] - self.inner_lr * grad
+        return fast
+
     def fit(self, ctx: FitContext) -> "MetaCF":
         self._ctx = ctx
         domain = ctx.domain
@@ -154,13 +174,12 @@ class MetaCF(Recommender):
                 batch_loss = 0.0
                 for task in batch:
                     profile = self._profile_of(task)
-                    fast = dict(self.params)
-                    for _ in range(self.inner_steps):
-                        _, grads = self._loss_grads(
-                            fast, profile, task.support_items, task.support_labels
-                        )
-                        for name, grad in grads.items():
-                            fast[name] = fast[name] - self.inner_lr * grad
+                    fast = self._inner_adapt(
+                        profile,
+                        task.support_items,
+                        task.support_labels,
+                        self.inner_steps,
+                    )
                     loss, grads = self._loss_grads(
                         fast, profile, task.query_items, task.query_labels
                     )
@@ -182,16 +201,9 @@ class MetaCF(Recommender):
         if task is None or task.n_support == 0:
             return None
         profile = self._profile_of(task)
-        params = self.params
-        if self.finetune_steps > 0:
-            fast = dict(params)
-            for _ in range(self.finetune_steps):
-                _, grads = self._loss_grads(
-                    fast, profile, task.support_items, task.support_labels
-                )
-                for name, grad in grads.items():
-                    fast[name] = fast[name] - self.inner_lr * grad
-            params = fast
+        params = self._inner_adapt(
+            profile, task.support_items, task.support_labels, self.finetune_steps
+        )
         return profile, params
 
     def score_with_state(

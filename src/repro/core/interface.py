@@ -212,6 +212,18 @@ class Recommender(abc.ABC):
         """
         return None
 
+    def adapt_users(self, tasks: list[PreferenceTask | None]) -> list[Any]:
+        """Adapt many users at once; returns one state per task.
+
+        The batched counterpart of :meth:`adapt_user`: meta-learners
+        override it to fine-tune a whole batch of cold-start users in one
+        vectorized inner loop (one numpy pass per gradient step instead of
+        one per user).  The default simply loops.  Repeated task *objects*
+        may be deduplicated — callers get one state per position either
+        way.
+        """
+        return [self.adapt_user(task) for task in tasks]
+
     def score_with_state(
         self,
         state: Any,

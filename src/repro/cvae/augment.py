@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cvae.model import CVAEConfig, DualCVAE
+from repro.cvae.model import CVAEConfig
 from repro.cvae.trainer import DualCVAETrainer, TrainerConfig
 from repro.data.domain import Domain, MultiDomainDataset
 from repro.utils.rng import spawn_rngs

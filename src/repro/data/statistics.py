@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.data.domain import Domain, DomainPair, MultiDomainDataset
+from repro.data.domain import Domain, MultiDomainDataset
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ from repro.core.interface import FitContext, Recommender
 from repro.data.domain import Domain
 from repro.data.negative_sampling import EvalInstance, build_eval_instances
 from repro.data.splits import ColdStartSplits, Scenario
-from repro.data.tasks import PreferenceTask, TaskConfig, TaskSet, build_task_set
+from repro.data.tasks import PreferenceTask, TaskConfig, build_task_set
 from repro.eval.metrics import MetricSet, ndcg_curve
 from repro.utils.rng import spawn_rngs
 

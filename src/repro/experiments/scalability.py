@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cvae.model import CVAEConfig, DualCVAE
 from repro.cvae.trainer import DualCVAETrainer, TrainerConfig
 from repro.data.amazon import BenchmarkScale, make_amazon_like_benchmark
 from repro.data.experiment import prepare_experiment

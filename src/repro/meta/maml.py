@@ -6,18 +6,28 @@ use the first-order approximation (FOMAML): the query gradient evaluated at
 the adapted parameters is applied to the meta-parameters directly.  An
 optional MeLU-style restriction adapts only the decision (MLP) layers in the
 inner loop while embeddings stay global.
+
+The hot path is *task-batched*: a meta-batch of tasks is padded into one
+:class:`TaskBatch` and adapted in a single vectorized inner loop over
+stacked fast weights (``[T, ...]`` parameter arrays, see
+:mod:`repro.nn.stacking`), so both meta-training (:meth:`MAML.meta_step`)
+and meta-testing many cold-start users at once (:meth:`MAML.adapt_many`)
+cost one numpy pass per inner step instead of one per task.  The scalar
+per-task path (:meth:`MAML.adapt` with ``config.vectorize=False``) is kept
+as the reference implementation the equivalence tests check against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.meta.model import PreferenceModel
 from repro.nn.module import Grads, Params
-from repro.nn.optim import Adam, add_grads, clip_grad_norm
+from repro.nn.optim import Adam, add_grads, clip_grad_norm, mean_task_grads
+from repro.nn.stacking import stack_params, tile_params, unstack_params
 from repro.utils.rng import ensure_rng
 
 
@@ -26,7 +36,9 @@ class MAMLConfig:
     """MAML hyper-parameters.
 
     ``inner_lr`` is α of Eq. (1); ``local_only_decision`` restricts the
-    inner-loop update to the MLP decision layers (MeLU's scheme).
+    inner-loop update to the MLP decision layers (MeLU's scheme);
+    ``vectorize=False`` falls back to the scalar one-task-at-a-time loops
+    (the reference implementation — slower, numerically equivalent).
     """
 
     inner_lr: float = 0.05
@@ -35,6 +47,7 @@ class MAMLConfig:
     meta_batch_size: int = 16
     grad_clip: float = 5.0
     local_only_decision: bool = False
+    vectorize: bool = True
 
     def __post_init__(self) -> None:
         if self.inner_lr <= 0 or self.outer_lr <= 0:
@@ -55,6 +68,61 @@ class TaskBatchItem:
     query_labels: np.ndarray
 
 
+def _pad_rows(arrays: Sequence[np.ndarray], width: int) -> np.ndarray:
+    """Stack variable-length arrays into ``(T, width, ...)`` with zero padding."""
+    first = np.asarray(arrays[0])
+    out = np.zeros((len(arrays), width) + first.shape[1:], dtype=float)
+    for t, array in enumerate(arrays):
+        array = np.asarray(array, dtype=float)
+        out[t, : array.shape[0]] = array
+    return out
+
+
+@dataclass(frozen=True)
+class TaskBatch:
+    """A whole meta-batch of tasks as padded ``[T, ...]`` arrays.
+
+    Ragged support/query sets are zero-padded to the largest task in the
+    batch; the ``*_mask`` arrays (1 = real row, 0 = padding) keep padded
+    rows out of every loss and gradient.  Built once per meta-batch with
+    :meth:`from_items`, consumed by the vectorized MAML paths.
+    """
+
+    support_user: np.ndarray  # (T, S, C)
+    support_item: np.ndarray  # (T, S, C)
+    support_labels: np.ndarray  # (T, S)
+    support_mask: np.ndarray  # (T, S)
+    query_user: np.ndarray  # (T, Q, C)
+    query_item: np.ndarray  # (T, Q, C)
+    query_labels: np.ndarray  # (T, Q)
+    query_mask: np.ndarray  # (T, Q)
+
+    def __len__(self) -> int:
+        return self.support_labels.shape[0]
+
+    @classmethod
+    def from_items(cls, items: Sequence[TaskBatchItem]) -> "TaskBatch":
+        if not items:
+            raise ValueError("empty task batch")
+        s_width = max(max(i.support_labels.size for i in items), 1)
+        q_width = max(max(i.query_labels.size for i in items), 1)
+        s_mask = np.zeros((len(items), s_width))
+        q_mask = np.zeros((len(items), q_width))
+        for t, item in enumerate(items):
+            s_mask[t, : item.support_labels.size] = 1.0
+            q_mask[t, : item.query_labels.size] = 1.0
+        return cls(
+            support_user=_pad_rows([i.support_user for i in items], s_width),
+            support_item=_pad_rows([i.support_item for i in items], s_width),
+            support_labels=_pad_rows([i.support_labels for i in items], s_width),
+            support_mask=s_mask,
+            query_user=_pad_rows([i.query_user for i in items], q_width),
+            query_item=_pad_rows([i.query_item for i in items], q_width),
+            query_labels=_pad_rows([i.query_labels for i in items], q_width),
+            query_mask=q_mask,
+        )
+
+
 class MAML:
     """First-order MAML driving a :class:`PreferenceModel`."""
 
@@ -72,12 +140,49 @@ class MAML:
         self._adaptable: set[str] | None = None
         if self.config.local_only_decision:
             self._adaptable = set(model.decision_params(self.params))
+        # With frozen embeddings, the inner loop only needs the MLP head:
+        # the support embedding is computed once per adaptation and reused
+        # across every inner step (a large win — the embedding GEMMs over
+        # high-dimensional content dominate the full backward pass).
+        self._decision_only = (
+            self._adaptable is not None
+            and hasattr(model, "embed_joint")
+            and hasattr(model, "decision_loss_and_grads")
+            and all(name.startswith("mlp.") for name in self._adaptable)
+        )
+
+    @property
+    def _adaptable_keys(self) -> set[str]:
+        """Parameter names the inner loop may update."""
+        if self._adaptable is not None:
+            return set(self._adaptable)
+        return set(self.params)
 
     # ------------------------------------------------------------------
-    def adapt(self, item: TaskBatchItem, params: Params | None = None) -> Params:
-        """Inner loop: returns task-adapted fast weights (meta params untouched)."""
+    def adapt(
+        self,
+        item: TaskBatchItem,
+        params: Params | None = None,
+        steps: int | None = None,
+    ) -> Params:
+        """Inner loop: returns task-adapted fast weights (meta params untouched).
+
+        This is the single scalar implementation of Eq. (1) — meta-training
+        adaptation and meta-testing fine-tuning (:meth:`finetune`) both run
+        through it; ``steps`` overrides ``config.inner_steps``.
+        """
         fast = dict(params if params is not None else self.params)
-        for _ in range(self.config.inner_steps):
+        n_steps = self.config.inner_steps if steps is None else steps
+        if self._decision_only:
+            joint = self.model.embed_joint(fast, item.support_user, item.support_item)
+            for _ in range(n_steps):
+                _, grads = self.model.decision_loss_and_grads(
+                    fast, joint, item.support_labels
+                )
+                for name, grad in grads.items():
+                    fast[name] = fast[name] - self.config.inner_lr * grad
+            return fast
+        for _ in range(n_steps):
             _, grads = self.model.loss_and_grads(
                 fast, item.support_user, item.support_item, item.support_labels
             )
@@ -87,10 +192,127 @@ class MAML:
                 fast[name] = fast[name] - self.config.inner_lr * grad
         return fast
 
+    def adapt_batch(
+        self,
+        batch: TaskBatch,
+        params: Params | None = None,
+        steps: int | None = None,
+    ) -> Params:
+        """Vectorized inner loop over a whole padded meta-batch of tasks.
+
+        Returns one *stacked* fast-weight dict: every adaptable parameter
+        carries a leading ``[T, ...]`` task axis while non-adaptable
+        parameters (MeLU's global embeddings) stay unstacked and shared by
+        reference.  Each of the ``steps`` inner updates is a single numpy
+        pass over all ``T`` tasks; padding rows are masked out of every
+        gradient, so the result matches running :meth:`adapt` per task.
+        """
+        base = params if params is not None else self.params
+        adaptable = self._adaptable_keys & set(base)
+        fast = tile_params(base, len(batch), keys=adaptable)
+        n_steps = self.config.inner_steps if steps is None else steps
+        if self._decision_only:
+            # Frozen embeddings: embed every task's support set once (the
+            # embedding weights are shared and never change inside the inner
+            # loop), then iterate only the stacked MLP head.
+            joint = self.model.embed_joint(
+                fast, batch.support_user, batch.support_item
+            )
+            for _ in range(n_steps):
+                _, grads = self.model.decision_loss_and_grads(
+                    fast, joint, batch.support_labels, mask=batch.support_mask
+                )
+                for name in adaptable:
+                    grad = grads[name]
+                    grad *= self.config.inner_lr
+                    fast[name] -= grad
+            return fast
+        for _ in range(n_steps):
+            _, grads = self.model.loss_and_grads(
+                fast,
+                batch.support_user,
+                batch.support_item,
+                batch.support_labels,
+                mask=batch.support_mask,
+            )
+            for name in adaptable:
+                grad = grads[name]
+                grad *= self.config.inner_lr
+                fast[name] -= grad
+        return fast
+
+    def adapt_many(
+        self,
+        items: Sequence[TaskBatchItem],
+        steps: int | None = None,
+        max_chunk: int = 64,
+    ) -> list[Params]:
+        """Adapt many independent tasks, vectorized in chunks of ``max_chunk``.
+
+        The batched counterpart of calling :meth:`adapt` (or
+        :meth:`finetune`) in a loop — this is the serving-side primitive
+        that fine-tunes a whole flush of cold-start users at once.  Returns
+        one ordinary fast-weight dict per task (views into the stacked
+        storage; shared non-adapted weights stay shared).  ``max_chunk``
+        bounds the padded ``(T, S, C)`` scratch memory; ragged tasks are
+        bucketed by support size first so each chunk pads to near-uniform
+        width instead of the global maximum.
+        """
+        if max_chunk <= 0:
+            raise ValueError("max_chunk must be positive")
+        if not self.config.vectorize:
+            return [self.adapt(item, steps=steps) for item in items]
+        order = sorted(
+            range(len(items)), key=lambda i: items[i].support_labels.size
+        )
+        results: list[Params | None] = [None] * len(items)
+        for start in range(0, len(order), max_chunk):
+            indices = order[start : start + max_chunk]
+            if len(indices) == 1:
+                results[indices[0]] = self.adapt(items[indices[0]], steps=steps)
+                continue
+            chunk = [items[i] for i in indices]
+            fast = self.adapt_batch(TaskBatch.from_items(chunk), steps=steps)
+            # copy=True: the per-task dicts may be cached long past this
+            # chunk (serving LRU) and must not pin the stacked block alive.
+            parts = unstack_params(
+                fast,
+                len(chunk),
+                stacked_keys=self._adaptable_keys & set(fast),
+                copy=True,
+            )
+            for i, part in zip(indices, parts):
+                results[i] = part
+        return results  # type: ignore[return-value]
+
     def meta_step(self, batch: Sequence[TaskBatchItem]) -> float:
-        """One outer-loop update over a batch of tasks; returns mean query loss."""
+        """One outer-loop update over a batch of tasks; returns mean query loss.
+
+        The whole meta-batch is adapted in one vectorized inner loop and its
+        FOMAML query gradients are taken in one backward pass (per-task
+        gradients averaged over the task axis).  ``config.vectorize=False``
+        selects the equivalent scalar reference loop.
+        """
         if not batch:
             raise ValueError("empty task batch")
+        if not self.config.vectorize:
+            return self._meta_step_loop(batch)
+        task_batch = TaskBatch.from_items(batch)
+        fast = self.adapt_batch(task_batch)
+        losses, grads = self.model.loss_and_grads(
+            fast,
+            task_batch.query_user,
+            task_batch.query_item,
+            task_batch.query_labels,
+            mask=task_batch.query_mask,
+        )
+        meta_grads = mean_task_grads(grads)
+        clip_grad_norm(meta_grads, self.config.grad_clip)
+        self._optimizer.step(meta_grads)
+        return float(np.mean(losses))
+
+    def _meta_step_loop(self, batch: Sequence[TaskBatchItem]) -> float:
+        """Scalar reference implementation of :meth:`meta_step`."""
         meta_grads: Grads = {}
         total_loss = 0.0
         for item in batch:
@@ -130,19 +352,8 @@ class MAML:
 
     # ------------------------------------------------------------------
     def finetune(self, item: TaskBatchItem, steps: int | None = None) -> Params:
-        """Meta-testing adaptation: like :meth:`adapt` with a step override."""
-        if steps is None:
-            return self.adapt(item)
-        fast = dict(self.params)
-        for _ in range(steps):
-            _, grads = self.model.loss_and_grads(
-                fast, item.support_user, item.support_item, item.support_labels
-            )
-            for name, grad in grads.items():
-                if self._adaptable is not None and name not in self._adaptable:
-                    continue
-                fast[name] = fast[name] - self.config.inner_lr * grad
-        return fast
+        """Meta-testing adaptation: :meth:`adapt` with a step override."""
+        return self.adapt(item, steps=steps)
 
     def predict(
         self,
@@ -168,8 +379,13 @@ def batched_candidate_scores(
     Instances sharing the same adapted parameter dict (by identity — e.g.
     un-adapted requests all using the meta-initialization, or several
     requests for one cached user) are coalesced into a single ``predict``
-    over their concatenated candidate contents.  This is the vectorized
-    backend of ``score_with_state_batch`` for MAML-based methods.
+    over their concatenated candidate contents.  Requests with *distinct*
+    per-user fast weights (a micro-batch flush of many adapted users) are
+    scored in one stacked forward: their parameter dicts are stacked along
+    the task axis and their candidate lists padded to a common width, so
+    the whole flush costs one batched pass instead of one forward per
+    user.  This is the vectorized backend of ``score_with_state_batch``
+    for MAML-based methods.
     """
     if len(states) != len(instances):
         raise ValueError("states and instances must align")
@@ -178,8 +394,8 @@ def batched_candidate_scores(
     for idx, params in enumerate(resolved):
         groups.setdefault(id(params), []).append(idx)
     results: list[np.ndarray | None] = [None] * len(instances)
-    for indices in groups.values():
-        params = resolved[indices[0]]
+
+    def group_contents(indices: list[int]) -> tuple[np.ndarray, np.ndarray, list[int]]:
         sizes = [instances[i].candidates.size for i in indices]
         users = np.concatenate(
             [
@@ -194,12 +410,102 @@ def batched_candidate_scores(
         items = np.concatenate(
             [item_content[instances[i].candidates] for i in indices]
         )
-        preds = maml.predict(users, items, params=params)
+        return users, items, sizes
+
+    def scatter(indices: list[int], sizes: list[int], preds: np.ndarray) -> None:
         offset = 0
         for i, size in zip(indices, sizes):
             results[i] = preds[offset : offset + size]
             offset += size
+
+    def score_solo(indices: list[int]) -> None:
+        users, items, sizes = group_contents(indices)
+        scatter(indices, sizes, maml.predict(users, items, params=resolved[indices[0]]))
+
+    group_list = list(groups.values())
+    if len(group_list) == 1:
+        score_solo(group_list[0])
+        return results  # type: ignore[return-value]
+
+    # Stacked path: one padded forward over similarly-sized parameter
+    # groups.  Groups much larger than the median (e.g. one shared
+    # meta-params group coalescing every un-adapted request) would force
+    # every other group's padding up to their size — those are scored
+    # through the concatenated single-group path instead, keeping the
+    # padded memory within a small factor of the real row count.
+    row_counts = {
+        id(indices): sum(instances[i].candidates.size for i in indices)
+        for indices in group_list
+    }
+    median_rows = float(np.median(list(row_counts.values())))
+    stackable = [g for g in group_list if row_counts[id(g)] <= 2.0 * median_rows]
+    oversized = [g for g in group_list if row_counts[id(g)] > 2.0 * median_rows]
+    for indices in oversized:
+        score_solo(indices)
+    if len(stackable) == 1:
+        score_solo(stackable[0])
+        return results  # type: ignore[return-value]
+    contents = [group_contents(indices) for indices in stackable]
+    width = max(users.shape[0] for users, _, _ in contents)
+    n_features = user_content.shape[1]
+    users_pad = np.zeros((len(stackable), width, n_features))
+    items_pad = np.zeros((len(stackable), width, n_features))
+    for g, (users, items, _) in enumerate(contents):
+        users_pad[g, : users.shape[0]] = users
+        items_pad[g, : items.shape[0]] = items
+    stacked = stack_params([resolved[indices[0]] for indices in stackable])
+    preds = maml.predict(users_pad, items_pad, params=stacked)
+    for g, indices in enumerate(stackable):
+        scatter(indices, contents[g][2], preds[g])
     return results  # type: ignore[return-value]
+
+
+def adapt_task_states(
+    maml: MAML,
+    user_content: np.ndarray,
+    item_content: np.ndarray,
+    tasks: Sequence,
+    steps: int,
+) -> list[Params | None]:
+    """Fast weights for a batch of support tasks, adapted in one pass.
+
+    The shared ``adapt_users`` backend of MAML-based recommenders: unique
+    tasks (by object identity — evaluation aligns many instances to one
+    task object) are materialized and fine-tuned together through
+    :meth:`MAML.adapt_many`; positions whose task is ``None``/empty (or
+    when ``steps == 0``) stay ``None``, meaning "serve from the
+    meta-initialization".  Instances sharing a task share the *same*
+    returned dict, which downstream scoring coalesces by identity.
+    """
+    states: list[Params | None] = [None] * len(tasks)
+    slot_of: dict[int, int] = {}
+    items: list[TaskBatchItem] = []
+    owners: list[list[int]] = []
+    for i, task in enumerate(tasks):
+        if task is None or task.n_support == 0 or steps == 0:
+            continue
+        slot = slot_of.get(id(task))
+        if slot is None:
+            slot = len(items)
+            slot_of[id(task)] = slot
+            items.append(
+                materialize_task(
+                    user_content,
+                    item_content,
+                    task.user_row,
+                    task.support_items,
+                    task.support_labels,
+                    task.query_items,
+                    task.query_labels,
+                )
+            )
+            owners.append([])
+        owners[slot].append(i)
+    if items:
+        for slot, fast in enumerate(maml.adapt_many(items, steps=steps)):
+            for i in owners[slot]:
+                states[i] = fast
+    return states
 
 
 def subsample_support(

@@ -7,6 +7,13 @@ neural network whose sigmoid head predicts the interaction probability.
 
 The model is purely functional (parameters live in a flat dict), so MAML
 fast weights, fine-tuning and evaluation all reuse the same forward code.
+
+It follows the stacked-parameter contract of :mod:`repro.nn`: parameters may
+carry a leading task axis ``[T, ...]`` (possibly only for a subset of keys —
+MeLU keeps embeddings global) against inputs of shape ``(T, batch, C)``, in
+which case predictions are ``(T, batch)``, losses are per-task vectors and
+gradients keep the task axis.  This is what lets MAML adapt a whole
+meta-batch of tasks in one numpy pass.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.nn.losses import binary_cross_entropy
+from repro.nn.losses import binary_cross_entropy, binary_cross_entropy_tasks
 from repro.nn.module import Grads, Params, mlp
 from repro.nn.layers import Linear, Tanh
 from repro.nn.module import Sequential
@@ -85,26 +92,32 @@ class PreferenceModel:
     ) -> tuple[np.ndarray, Any]:
         """Predict interaction probabilities for aligned (user, item) rows.
 
-        Both inputs have shape ``(batch, content_dim)``; the return value is
-        ``(preds, cache)`` with ``preds`` of shape ``(batch,)``.
+        Inputs of shape ``(batch, content_dim)`` give ``preds`` of shape
+        ``(batch,)``; task-batched inputs ``(T, batch, content_dim)`` give
+        ``(T, batch)`` — one independent model per task when the parameters
+        are stacked, broadcasting for the parameters that are not.
         """
         xu, cache_u = self.user_embed.forward(self._sub(params, "user_embed"), user_content)
         xi, cache_i = self.item_embed.forward(self._sub(params, "item_embed"), item_content)
-        joint = np.concatenate([xu, xi], axis=1)
+        joint = np.concatenate([xu, xi], axis=-1)
         out, cache_m = self.mlp.forward(self._sub(params, "mlp"), joint)
-        return out[:, 0], (cache_u, cache_i, cache_m)
+        return out[..., 0], (cache_u, cache_i, cache_m)
 
     def backward(self, params: Params, cache: Any, d_preds: np.ndarray) -> Grads:
-        """Gradients of a scalar loss given ``d loss / d preds``."""
+        """Gradients of a scalar loss given ``d loss / d preds``.
+
+        With task-batched inputs the returned gradients carry the leading
+        task axis (per-task gradients) for every parameter.
+        """
         cache_u, cache_i, cache_m = cache
-        d_out = d_preds[:, None]
+        d_out = d_preds[..., None]
         d_joint, grads_m = self.mlp.backward(self._sub(params, "mlp"), cache_m, d_out)
         e = self.config.embed_dim
         _, grads_u = self.user_embed.backward(
-            self._sub(params, "user_embed"), cache_u, d_joint[:, :e]
+            self._sub(params, "user_embed"), cache_u, d_joint[..., :e]
         )
         _, grads_i = self.item_embed.backward(
-            self._sub(params, "item_embed"), cache_i, d_joint[:, e:]
+            self._sub(params, "item_embed"), cache_i, d_joint[..., e:]
         )
         grads: Grads = {}
         for prefix, sub in (("user_embed", grads_u), ("item_embed", grads_i), ("mlp", grads_m)):
@@ -119,17 +132,66 @@ class PreferenceModel:
         preds, _ = self.forward(params, user_content, item_content)
         return preds
 
+    # -- frozen-embedding decision path ---------------------------------
+    def embed_joint(
+        self, params: Params, user_content: np.ndarray, item_content: np.ndarray
+    ) -> np.ndarray:
+        """The concatenated embedding ``[x_u; x_i]`` feeding the MLP head.
+
+        With MeLU's decision-only inner loop the embedding layers are
+        frozen, so this can be computed once per adaptation and reused for
+        every inner step (see :meth:`decision_loss_and_grads`).
+        """
+        xu = self.user_embed(self._sub(params, "user_embed"), user_content)
+        xi = self.item_embed(self._sub(params, "item_embed"), item_content)
+        return np.concatenate([xu, xi], axis=-1)
+
+    def decision_loss_and_grads(
+        self,
+        params: Params,
+        joint: np.ndarray,
+        labels: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> tuple[float | np.ndarray, Grads]:
+        """Loss and *decision-layer* gradients from a precomputed embedding.
+
+        The counterpart of :meth:`loss_and_grads` for the restricted inner
+        loop: only the MLP head runs forward/backward (the returned grads
+        hold exactly the ``mlp.``-prefixed keys), skipping the frozen
+        embedding layers entirely.  Numerically identical to the full pass
+        restricted to those parameters.
+        """
+        out, cache_m = self.mlp.forward(self._sub(params, "mlp"), joint)
+        preds = out[..., 0]
+        if preds.ndim == 1 and mask is None:
+            loss, d_preds = binary_cross_entropy(preds, labels)
+        else:
+            loss, d_preds = binary_cross_entropy_tasks(preds, labels, mask=mask)
+        _, grads_m = self.mlp.backward(
+            self._sub(params, "mlp"), cache_m, d_preds[..., None]
+        )
+        return loss, {f"mlp.{name}": value for name, value in grads_m.items()}
+
     def loss_and_grads(
         self,
         params: Params,
         user_content: np.ndarray,
         item_content: np.ndarray,
         labels: np.ndarray,
-    ) -> tuple[float, Grads]:
+        mask: np.ndarray | None = None,
+    ) -> tuple[float | np.ndarray, Grads]:
         """Mean BCE over the batch and gradients for every parameter.
 
         Labels may be soft (augmented ratings in [0, 1]).
+
+        Task-batched inputs ``(T, batch, C)`` return per-task losses ``(T,)``
+        and per-task gradients; each task's loss and gradient are normalized
+        by that task's own element count.  ``mask`` (shape ``(T, batch)``,
+        1 for real rows, 0 for padding) excludes padded rows from both.
         """
         preds, cache = self.forward(params, user_content, item_content)
-        loss, d_preds = binary_cross_entropy(preds, labels)
-        return loss, self.backward(params, cache, d_preds)
+        if preds.ndim == 1 and mask is None:
+            loss, d_preds = binary_cross_entropy(preds, labels)
+            return loss, self.backward(params, cache, d_preds)
+        losses, d_preds = binary_cross_entropy_tasks(preds, labels, mask=mask)
+        return losses, self.backward(params, cache, d_preds)

@@ -29,6 +29,7 @@ from repro.meta.maml import (
     MAML,
     MAMLConfig,
     TaskBatchItem,
+    adapt_task_states,
     batched_candidate_scores,
     materialize_task,
     subsample_support,
@@ -195,6 +196,19 @@ class MetaDPA(Recommender):
             self._materialize(task), steps=self.config.finetune_steps
         )
 
+    def adapt_users(self, tasks):
+        """Fine-tune a whole batch of users in one vectorized inner loop."""
+        if self.maml is None:
+            raise RuntimeError("fit() must be called before adapt_users()")
+        serving = self.serving
+        return adapt_task_states(
+            self.maml,
+            serving.user_content,
+            serving.item_content,
+            tasks,
+            self.config.finetune_steps,
+        )
+
     def score_with_state(
         self,
         state,
@@ -225,6 +239,12 @@ class MetaDPA(Recommender):
         self, task: PreferenceTask | None, instance: EvalInstance
     ) -> np.ndarray:
         return self.score_with_state(self.adapt_user(task), instance)
+
+    def score_batch(self, tasks, instances) -> list[np.ndarray]:
+        """Adapt every evaluated user in one batched inner loop, then score."""
+        if len(tasks) != len(instances):
+            raise ValueError("tasks and instances must align")
+        return self.score_with_state_batch(self.adapt_users(tasks), instances)
 
     # ------------------------------------------------------------------
     def config_dict(self) -> dict:

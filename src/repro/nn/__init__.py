@@ -28,13 +28,15 @@ from repro.nn.layers import (
 )
 from repro.nn.losses import (
     binary_cross_entropy,
+    binary_cross_entropy_tasks,
     gaussian_kl,
     gaussian_kl_to_code,
     info_nce,
     mse_loss,
 )
 from repro.nn.module import Module, Sequential, mlp
-from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm, mean_task_grads
+from repro.nn.stacking import stack_params, tile_params, tree_map, unstack_params
 from repro.nn.grad_check import numerical_gradient, relative_error
 from repro.nn.serialization import load_params, params_equal, save_params
 from repro.nn.schedulers import CosineDecay, Scheduler, StepDecay, WarmupLinear
@@ -52,6 +54,7 @@ __all__ = [
     "Tanh",
     "Softmax",
     "binary_cross_entropy",
+    "binary_cross_entropy_tasks",
     "mse_loss",
     "gaussian_kl",
     "gaussian_kl_to_code",
@@ -60,6 +63,11 @@ __all__ = [
     "Adam",
     "Optimizer",
     "clip_grad_norm",
+    "mean_task_grads",
+    "stack_params",
+    "unstack_params",
+    "tile_params",
+    "tree_map",
     "xavier_uniform",
     "kaiming_uniform",
     "normal_init",

@@ -2,6 +2,13 @@
 
 Every layer follows the :class:`repro.nn.module.Module` contract; caches hold
 exactly what the backward pass needs, nothing more.
+
+All layers additionally honor the *stacked* contract: parameters may carry a
+leading task axis ``[T, ...]`` (see :mod:`repro.nn.stacking`) and inputs a
+matching leading ``T`` axis.  Stacked and unstacked weights broadcast against
+each other, and whenever the *input* is task-batched the returned gradients
+keep the task axis (per-task gradients), even for shared unstacked weights —
+callers reduce over tasks themselves (e.g. a MAML outer step averages them).
 """
 
 from __future__ import annotations
@@ -15,7 +22,12 @@ from repro.nn.module import Grads, Module, Params
 
 
 class Linear(Module):
-    """Affine layer ``y = x @ W + b`` with ``W: (in, out)``."""
+    """Affine layer ``y = x @ W + b`` with ``W: (in, out)``.
+
+    Stacked form: ``W: (T, in, out)`` / ``b: (T, out)`` with inputs
+    ``(T, batch, in)``; matmul broadcasting makes both the unstacked and the
+    mixed (stacked input, shared weight) cases a single batched GEMM.
+    """
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True):
         if in_features <= 0 or out_features <= 0:
@@ -40,17 +52,20 @@ class Linear(Module):
     ) -> tuple[np.ndarray, Any]:
         y = x @ params["W"]
         if self.use_bias:
-            y = y + params["b"]
+            b = params["b"]
+            # A stacked bias (T, out) aligns with y (T, batch, out) via an
+            # explicit batch axis; an unstacked bias broadcasts as-is.
+            y = y + (b[..., None, :] if b.ndim > 1 else b)
         return y, x
 
     def backward(
         self, params: Params, cache: Any, dy: np.ndarray
     ) -> tuple[np.ndarray, Grads]:
         x = cache
-        grads: Grads = {"W": x.T @ dy}
+        grads: Grads = {"W": np.swapaxes(x, -1, -2) @ dy}
         if self.use_bias:
-            grads["b"] = dy.sum(axis=0)
-        dx = dy @ params["W"].T
+            grads["b"] = dy.sum(axis=-2)
+        dx = dy @ np.swapaxes(params["W"], -1, -2)
         return dx, grads
 
 
@@ -59,6 +74,11 @@ class Embedding(Module):
 
     Forward takes an integer array of shape ``(batch,)`` or ``(batch, k)``
     and returns vectors of shape ``(batch, dim)`` or ``(batch, k, dim)``.
+
+    Stacked form: ``E: (T, num_embeddings, dim)`` with indices ``(T, batch)``
+    looks up each task in its own table and scatters gradients per task.  A
+    shared (unstacked) table with task-batched indices keeps the historical
+    behaviour of summing the gradient over every leading axis.
     """
 
     def __init__(self, num_embeddings: int, dim: int, std: float = 0.01):
@@ -84,14 +104,27 @@ class Embedding(Module):
             raise IndexError(
                 f"embedding index out of range [0, {self.num_embeddings})"
             )
-        return params["E"][idx], idx
+        table = params["E"]
+        if table.ndim == 3:
+            if idx.ndim != 2 or idx.shape[0] != table.shape[0]:
+                raise ValueError(
+                    "stacked embedding expects indices of shape (T, batch) "
+                    f"matching E's task axis, got {idx.shape} vs {table.shape}"
+                )
+            n_tasks = table.shape[0]
+            return table[np.arange(n_tasks)[:, None], idx], idx
+        return table[idx], idx
 
     def backward(
         self, params: Params, cache: Any, dy: np.ndarray
     ) -> tuple[np.ndarray, Grads]:
         idx = cache
         grad_e = np.zeros_like(params["E"])
-        np.add.at(grad_e, idx.reshape(-1), dy.reshape(-1, self.dim))
+        if grad_e.ndim == 3:
+            task_idx = np.broadcast_to(np.arange(grad_e.shape[0])[:, None], idx.shape)
+            np.add.at(grad_e, (task_idx, idx), dy)
+        else:
+            np.add.at(grad_e, idx.reshape(-1), dy.reshape(-1, self.dim))
         # Indices are not differentiable; return a zero gradient placeholder.
         return np.zeros(idx.shape), {"E": grad_e}
 
@@ -151,19 +184,23 @@ class LayerNorm(Module):
         var = x.var(axis=-1, keepdims=True)
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mu) * inv_std
-        y = params["gamma"] * x_hat + params["beta"]
+        gamma, beta = params["gamma"], params["beta"]
+        if gamma.ndim > 1:  # stacked (T, dim) against x (T, batch, dim)
+            gamma = gamma[..., None, :]
+            beta = beta[..., None, :]
+        y = gamma * x_hat + beta
         return y, (x_hat, inv_std)
 
     def backward(
         self, params: Params, cache: Any, dy: np.ndarray
     ) -> tuple[np.ndarray, Grads]:
         x_hat, inv_std = cache
-        n = x_hat.shape[-1]
         grads: Grads = {
-            "gamma": (dy * x_hat).sum(axis=tuple(range(dy.ndim - 1))),
-            "beta": dy.sum(axis=tuple(range(dy.ndim - 1))),
+            "gamma": (dy * x_hat).sum(axis=-2),
+            "beta": dy.sum(axis=-2),
         }
-        dxhat = dy * params["gamma"]
+        gamma = params["gamma"]
+        dxhat = dy * (gamma[..., None, :] if gamma.ndim > 1 else gamma)
         dx = (
             dxhat
             - dxhat.mean(axis=-1, keepdims=True)

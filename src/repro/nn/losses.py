@@ -43,6 +43,37 @@ def binary_cross_entropy(
     return float(per_elem.sum() / n), grad / n
 
 
+def binary_cross_entropy_tasks(
+    pred: np.ndarray,
+    target: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-task mean BCE over the trailing axis, with optional padding mask.
+
+    The batched counterpart of :func:`binary_cross_entropy` for stacked
+    computations: ``pred``/``target`` have shape ``(T, batch)`` (any number
+    of leading axes works) and each task's loss — and its gradient — is
+    normalized by *that task's own* unpadded element count, so the result is
+    exactly ``T`` independent per-task losses.  ``mask`` (same shape, 1 for
+    real elements, 0 for padding) zeroes padded entries before normalizing.
+
+    Returns ``(losses, grad)`` with ``losses`` of shape ``pred.shape[:-1]``
+    and ``grad`` of ``pred``'s shape.
+    """
+    pred = np.clip(pred, _EPS, 1.0 - _EPS)
+    per_elem = -(target * np.log(pred) + (1.0 - target) * np.log(1.0 - pred))
+    grad = (pred - target) / (pred * (1.0 - pred))
+    if mask is not None:
+        per_elem = per_elem * mask
+        grad = grad * mask
+        counts = np.maximum(mask.sum(axis=-1), 1.0)
+    else:
+        counts = float(pred.shape[-1])
+    losses = per_elem.sum(axis=-1) / counts
+    grad = grad / np.asarray(counts)[..., None]
+    return losses, grad
+
+
 def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
     """Mean squared error ``mean((pred - target)^2)``."""
     diff = pred - target

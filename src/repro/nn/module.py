@@ -12,7 +12,24 @@ Contract
     returns ``(y, cache)``; ``cache`` is opaque and consumed by ``backward``.
 ``backward(params, cache, dy)``
     returns ``(dx, grads)`` where ``grads`` has exactly the keys of
-    ``params`` (arrays of matching shape).
+    ``params``.
+
+Stacked parameters
+------------------
+Every op additionally accepts *stacked* parameters carrying an optional
+leading task axis ``[T, ...]`` (built with :mod:`repro.nn.stacking` helpers)
+against inputs with a matching leading ``T`` axis, computing ``T``
+independent versions of the layer in one numpy pass.  Stacked and unstacked
+entries may be mixed in one dict — unstacked weights broadcast across tasks.
+Gradient shapes follow the *inputs*: when the input is task-batched,
+``backward`` returns per-task gradients ``[T, ...]`` for every parameter
+(even shared unstacked ones); reduce with
+:func:`repro.nn.optim.mean_task_grads` before stepping unstacked weights.
+One deliberate exception: a *shared* (unstacked) ``Embedding`` table with
+task-batched indices scatter-adds the gradient over every leading axis —
+a per-task copy of a whole lookup table would be prohibitively large —
+so its summed gradient must not go through ``mean_task_grads``; stack the
+table per task if per-task gradients are required.
 """
 
 from __future__ import annotations

@@ -2,6 +2,12 @@
 
 Optimizers mutate the parameter dict in place via :meth:`Optimizer.step` and
 keep their own state (momentum buffers, Adam moments) keyed by parameter name.
+
+Every update is elementwise, so the optimizers are shape-agnostic: a stacked
+parameter dict (leading task axis, see :mod:`repro.nn.stacking`) trains ``T``
+independent copies in one step with per-copy Adam moments.  When a batched
+backward pass returns *per-task* gradients for unstacked meta parameters,
+reduce them first with :func:`mean_task_grads`.
 """
 
 from __future__ import annotations
@@ -116,6 +122,16 @@ def clip_grad_norm(grads: Grads, max_norm: float) -> float:
         for name in grads:
             grads[name] = grads[name] * scale
     return norm
+
+
+def mean_task_grads(grads: Grads) -> Grads:
+    """Average per-task gradients ``[T, ...]`` over the leading task axis.
+
+    This is the reduction between a task-batched backward pass (which keeps
+    one gradient per task, matching FOMAML's per-task query gradients) and an
+    optimizer step on the unstacked meta parameters.
+    """
+    return {name: np.asarray(grad).mean(axis=0) for name, grad in grads.items()}
 
 
 def add_grads(into: Grads, grads: Grads, scale: float = 1.0) -> None:

@@ -1,0 +1,104 @@
+"""Stacked-parameter helpers: one ``Params`` dict, a leading task axis.
+
+The stacked contract extends the functional :class:`~repro.nn.module.Module`
+API: any parameter array may carry an extra leading axis ``[T, ...]`` holding
+``T`` independent copies of the weight (one per task).  Layers broadcast
+cleanly between stacked and unstacked weights, so a parameter dict may mix
+both — e.g. MAML with the MeLU-style restriction keeps embedding weights
+global (unstacked, shared by every task) while the decision layers are
+stacked and adapted per task.
+
+These helpers are the glue between the per-task world (a list of ordinary
+parameter dicts) and the batched world (one dict of ``[T, ...]`` arrays):
+
+- :func:`stack_params` — list of dicts → one stacked dict,
+- :func:`unstack_params` — stacked dict → list of per-task dicts (views),
+- :func:`tile_params` — one dict → stacked writable copies (fast-weight
+  initialization for a batched inner loop),
+- :func:`tree_map` — apply a function leaf-wise across aligned dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.module import Params
+
+
+def tree_map(fn: Callable[..., np.ndarray], tree: Params, *rest: Params) -> Params:
+    """Apply ``fn`` to every array of ``tree`` (zipped with ``rest`` by key).
+
+    All dicts must share exactly the keys of ``tree``; the result maps each
+    key to ``fn(tree[k], rest_0[k], ...)``.
+    """
+    for other in rest:
+        if set(other) != set(tree):
+            raise ValueError("tree_map requires dicts with identical keys")
+    return {name: fn(value, *(r[name] for r in rest)) for name, value in tree.items()}
+
+
+def stack_params(params_list: Sequence[Params]) -> Params:
+    """Stack ``T`` aligned parameter dicts into one ``[T, ...]`` dict."""
+    if not params_list:
+        raise ValueError("stack_params needs at least one parameter dict")
+    keys = set(params_list[0])
+    for params in params_list[1:]:
+        if set(params) != keys:
+            raise ValueError("stack_params requires dicts with identical keys")
+    return {name: np.stack([p[name] for p in params_list]) for name in params_list[0]}
+
+
+def unstack_params(
+    params: Params,
+    n: int,
+    stacked_keys: Iterable[str] | None = None,
+    copy: bool = False,
+) -> list[Params]:
+    """Split a stacked dict back into ``n`` per-task dicts.
+
+    Keys in ``stacked_keys`` (default: all) are indexed along their leading
+    task axis — by default the returned arrays are *views* into the stacked
+    storage; pass ``copy=True`` when the per-task dicts outlive the stacked
+    block (e.g. a serving cache), so one surviving task does not pin the
+    whole ``[T, ...]`` array alive.  The remaining (shared, unstacked) keys
+    are passed through by reference either way, so tasks that share a
+    global weight keep sharing it.
+    """
+    keys = set(params) if stacked_keys is None else set(stacked_keys)
+    unknown = keys - set(params)
+    if unknown:
+        raise ValueError(f"stacked_keys not present in params: {sorted(unknown)}")
+    for name in keys:
+        if params[name].shape[:1] != (n,):
+            raise ValueError(
+                f"parameter {name!r} has leading dim {params[name].shape[:1]}, "
+                f"expected ({n},)"
+            )
+
+    def slice_of(value: np.ndarray, t: int) -> np.ndarray:
+        return value[t].copy() if copy else value[t]
+
+    return [
+        {
+            name: (slice_of(value, t) if name in keys else value)
+            for name, value in params.items()
+        }
+        for t in range(n)
+    ]
+
+
+def tile_params(
+    params: Params, n: int, keys: Iterable[str] | None = None
+) -> Params:
+    """Tile selected parameters into ``n`` writable stacked copies.
+
+    Keys outside ``keys`` (default: all) stay unstacked and are shared by
+    reference — the mixed stacked/shared dict a partial inner loop wants.
+    """
+    chosen = set(params) if keys is None else set(keys)
+    return {
+        name: (np.repeat(value[None], n, axis=0) if name in chosen else value)
+        for name, value in params.items()
+    }

@@ -5,7 +5,9 @@ vectorized ``score_with_state_batch`` implementations (MeLU, MetaDPA) do
 much better scoring many candidate lists in one forward.  The
 :class:`MicroBatcher` coalesces requests that arrive within a short window
 into a single batched call and distributes the per-request results through
-futures.
+futures.  The batcher is payload-agnostic: the serving facade's flush
+callback also resolves cache-missed adaptations, fine-tuning every pending
+cold-start user in the flush through one batched ``adapt_users`` call.
 
 The batching loop is factored into :meth:`process_once` so tests can drive
 it deterministically (``autostart=False``); in production a daemon worker

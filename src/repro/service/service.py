@@ -12,6 +12,13 @@ artifact:
 - an optional micro-batching queue coalescing concurrent ``recommend``
   calls into one vectorized ``score_with_state_batch``.
 
+Cold-start adaptation is batched wherever more than one user needs it at
+once: :meth:`RecommenderService.recommend_many` and every micro-batch
+flush route uncached users through the method's ``adapt_users`` — for
+MAML-based methods one vectorized inner loop over the whole batch of
+support sets (``MAML.adapt_many``) — instead of fine-tuning them one by
+one.
+
 A user's support set enters through ``recommend(..., task=...)`` or
 :meth:`register_user_history`; users without history are served from the
 un-adapted meta-initialization (or whatever the method's task-free
@@ -20,6 +27,8 @@ behaviour is).
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -31,6 +40,19 @@ from repro.service.batching import MicroBatcher
 from repro.service.cache import LRUCache
 
 _MISS = object()
+
+
+@dataclass
+class _PendingAdaptation:
+    """A cache-missed user riding into a micro-batch flush un-adapted.
+
+    The flush resolves all pending entries with one ``adapt_users`` call,
+    so a burst of cold-start users pays one vectorized inner loop instead
+    of one fine-tuning run per request.
+    """
+
+    user_row: int
+    task: PreferenceTask | None
 
 
 class RecommenderService:
@@ -56,12 +78,13 @@ class RecommenderService:
             ):
                 raise ValueError("candidate_pool contains out-of-range item rows")
         self._cache = LRUCache(maxsize=cache_size)
+        self._cache_lock = threading.Lock()
         self._tasks: dict[int, PreferenceTask] = {}
         self.n_requests = 0
         self._batcher: MicroBatcher | None = None
         if batching:
             self._batcher = MicroBatcher(
-                method.score_with_state_batch,
+                self._score_flush,
                 max_batch=max_batch,
                 max_wait_ms=max_wait_ms,
             )
@@ -78,25 +101,60 @@ class RecommenderService:
         Any previously cached adaptation for that user is invalidated.
         """
         self._tasks[int(task.user_row)] = task
-        self._cache.invalidate(int(task.user_row))
+        with self._cache_lock:
+            self._cache.invalidate(int(task.user_row))
 
     def invalidate_user(self, user_row: int) -> None:
         """Drop a user's cached adaptation (e.g. after new interactions)."""
-        self._cache.invalidate(int(user_row))
+        with self._cache_lock:
+            self._cache.invalidate(int(user_row))
 
-    def _adapted_state(self, user_row: int, task: PreferenceTask | None):
+    def _cached_state(self, user_row: int, task: PreferenceTask | None):
+        """``(hit, state, effective_task)`` for one user's cache lookup."""
         key = int(user_row)
-        entry = self._cache.get(key, _MISS)
+        with self._cache_lock:
+            entry = self._cache.get(key, _MISS)
         if entry is not _MISS:
             cached_task, state = entry
             # A caller explicitly passing a *different* task is announcing
             # fresh history — the cached adaptation is stale for it.
             if task is None or task is cached_task:
-                return state
-        effective = task if task is not None else self._tasks.get(key)
+                return True, state, cached_task
+        return False, None, task if task is not None else self._tasks.get(key)
+
+    def _store_state(self, user_row: int, task: PreferenceTask | None, state) -> None:
+        with self._cache_lock:
+            self._cache.put(int(user_row), (task, state))
+
+    def _adapted_state(self, user_row: int, task: PreferenceTask | None):
+        hit, state, effective = self._cached_state(user_row, task)
+        if hit:
+            return state
         state = self.method.adapt_user(effective)
-        self._cache.put(key, (effective, state))
+        self._store_state(user_row, effective, state)
         return state
+
+    def _score_flush(self, states, instances):
+        """Micro-batch scorer: batch-adapt pending users, then score.
+
+        Entries arriving as :class:`_PendingAdaptation` (cache misses at
+        submit time) are resolved here with a single ``adapt_users`` call —
+        the whole flush's cold-start fine-tuning in one vectorized inner
+        loop — and the fresh states are written back to the LRU cache
+        before scoring.
+        """
+        pending = [
+            (i, entry)
+            for i, entry in enumerate(states)
+            if isinstance(entry, _PendingAdaptation)
+        ]
+        if pending:
+            adapted = self.method.adapt_users([entry.task for _, entry in pending])
+            states = list(states)
+            for (i, entry), state in zip(pending, adapted):
+                states[i] = state
+                self._store_state(entry.user_row, entry.task, state)
+        return self.method.score_with_state_batch(states, instances)
 
     def _candidates_for(self, user_row: int, exclude_seen: bool) -> np.ndarray:
         serving = self.method.serving
@@ -125,7 +183,6 @@ class RecommenderService:
         if k <= 0:
             raise ValueError("k must be positive")
         self.n_requests += 1
-        state = self._adapted_state(user_row, task)
         pool = self._candidates_for(int(user_row), exclude_seen)
         if pool.size == 0:
             empty = np.array([], dtype=int)
@@ -134,9 +191,16 @@ class RecommenderService:
             user_row=int(user_row), pos_item=int(pool[0]), neg_items=pool[1:]
         )
         if self._batcher is not None:
+            # Defer cache-missed adaptation into the flush so concurrent
+            # cold-start users are fine-tuned together by adapt_users.
+            hit, state, effective = self._cached_state(user_row, task)
+            if not hit:
+                state = _PendingAdaptation(int(user_row), effective)
             scores = self._batcher.score(state, instance)
         else:
-            scores = self.method.score_with_state(state, instance)
+            scores = self.method.score_with_state(
+                self._adapted_state(user_row, task), instance
+            )
         scores = np.asarray(scores, dtype=float)
         order = np.argsort(-scores, kind="stable")[:k]
         return Recommendation(int(user_row), pool[order], scores[order])
@@ -147,8 +211,27 @@ class RecommenderService:
         k: int = 10,
         exclude_seen: bool = True,
     ) -> list[Recommendation]:
-        """Serve a batch of users through one ``score_with_state_batch``."""
-        states = [self._adapted_state(u, None) for u in user_rows]
+        """Serve a batch of users through one ``score_with_state_batch``.
+
+        Users without a cached adaptation are fine-tuned *together* through
+        the method's ``adapt_users`` (one vectorized inner loop for the
+        whole batch) before the single batched scoring pass.
+        """
+        lookups = [self._cached_state(u, None) for u in user_rows]
+        misses: dict[int, PreferenceTask | None] = {}
+        for user, (hit, _, effective) in zip(user_rows, lookups):
+            if not hit and int(user) not in misses:
+                misses[int(user)] = effective
+        fresh: dict[int, object] = {}
+        if misses:
+            adapted = self.method.adapt_users(list(misses.values()))
+            fresh = dict(zip(misses, adapted))
+            for user, task in misses.items():
+                self._store_state(user, task, fresh[user])
+        states = [
+            state if hit else fresh[int(user)]
+            for user, (hit, state, _) in zip(user_rows, lookups)
+        ]
         pools = [self._candidates_for(int(u), exclude_seen) for u in user_rows]
         kept = [i for i, pool in enumerate(pools) if pool.size > 0]
         instances = [

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.data.domain import align_shared_users
-from repro.data.generator import DomainSpec, GeneratorConfig, SyntheticMultiDomainGenerator
+from repro.data.generator import DomainSpec, SyntheticMultiDomainGenerator
 from repro.data.statistics import domain_statistics, format_table_1, format_table_2, pair_statistics
 from repro.data.vocab import ReviewGenerator, latent_to_topics, make_vocabulary
 

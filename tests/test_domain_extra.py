@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data.domain import Domain, DomainPair, MultiDomainDataset
+from repro.data.domain import Domain, DomainPair
 from repro.data.experiment import prepare_experiment
 from repro.data.generator import DomainSpec, GeneratorConfig, SyntheticMultiDomainGenerator
 from repro.data.splits import Scenario
