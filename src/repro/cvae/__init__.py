@@ -18,19 +18,27 @@ target-decoder path of each of the k Dual-CVAEs on every target-domain user
 to produce k diverse rating vectors (Sec. IV-B).
 """
 
-from repro.cvae.model import CVAEConfig, DualCVAE
-from repro.cvae.trainer import DualCVAETrainer, TrainerConfig
+from repro.cvae.model import CVAEConfig, DualCVAE, FusedDualCVAE
+from repro.cvae.trainer import (
+    DualCVAETrainer,
+    MultiDomainCVAETrainer,
+    TrainerConfig,
+)
 from repro.cvae.augment import AugmentedRatings, DiversePreferenceAugmenter, rating_diversity
+from repro.cvae.cache import AugmentationCache
 from repro.cvae.diagnostics import AugmentationReport, diagnose_augmentation, generation_auc
 
 __all__ = [
     "CVAEConfig",
     "DualCVAE",
+    "FusedDualCVAE",
     "DualCVAETrainer",
+    "MultiDomainCVAETrainer",
     "TrainerConfig",
     "AugmentedRatings",
     "DiversePreferenceAugmenter",
     "rating_diversity",
+    "AugmentationCache",
     "AugmentationReport",
     "diagnose_augmentation",
     "generation_auc",

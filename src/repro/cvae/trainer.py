@@ -1,4 +1,19 @@
-"""Training loop for one Dual-CVAE on a shared-user domain pair."""
+"""Training loops for Dual-CVAEs on shared-user domain pairs.
+
+Two trainers share one contract:
+
+- :class:`DualCVAETrainer` — the scalar reference: one model, one domain
+  pair, a Python loop over epochs and minibatches.
+- :class:`MultiDomainCVAETrainer` — the fused hot path: it takes k scalar
+  trainers, stacks their models along a leading domain axis
+  (:class:`~repro.cvae.model.FusedDualCVAE`) and drives all k of them
+  through their *own* batch schedules in one ``(2k, batch, ...)`` numpy
+  pass per step, with per-domain Adam state and per-domain gradient
+  clipping on the same stacked axis.  Each scalar trainer's rngs, splits,
+  histories and final model parameters end up the same (to float32
+  rounding) as if it had been trained alone — the sequential path stays
+  available as the bitwise reference for equivalence tests.
+"""
 
 from __future__ import annotations
 
@@ -6,16 +21,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cvae.model import CVAEConfig, DualCVAE
+from repro.cvae.model import CVAEConfig, DualCVAE, FusedDualCVAE
 from repro.data.domain import DomainPair
-from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.optim import Adam, StackedAdam, clip_grad_norm
 from repro.utils.batching import iter_batches
 from repro.utils.rng import ensure_rng, spawn_rngs
 
 
 @dataclass(frozen=True)
 class TrainerConfig:
-    """Optimization knobs for Dual-CVAE training."""
+    """Optimization knobs for Dual-CVAE training.
+
+    ``eval_every`` controls how often the held-out loss is computed: every
+    epoch by default (full per-epoch traces), every n-th epoch otherwise —
+    evaluation is a pure monitoring pass, so sparse traces trade visibility
+    for speed without touching the training trajectory.
+    """
 
     epochs: int = 200
     batch_size: int = 32
@@ -23,12 +44,15 @@ class TrainerConfig:
     weight_decay: float = 1e-5
     grad_clip: float = 5.0
     eval_fraction: float = 0.2
+    eval_every: int = 1
 
     def __post_init__(self) -> None:
         if self.epochs <= 0 or self.batch_size <= 0:
             raise ValueError("epochs and batch_size must be positive")
         if not 0.0 <= self.eval_fraction < 1.0:
             raise ValueError("eval_fraction must be in [0, 1)")
+        if self.eval_every <= 0:
+            raise ValueError("eval_every must be positive")
 
 
 @dataclass
@@ -48,9 +72,10 @@ class DualCVAETrainer:
     """Trains one :class:`DualCVAE` on a :class:`DomainPair`.
 
     The paper trains the k Dual-CVAEs independently (one per source domain);
-    callers simply construct k trainers.  Ratings are split 80/20 into a
-    train/eval partition of shared *users* for monitoring, mirroring the
-    paper's domain-adaptation phase split.
+    callers construct k trainers and either loop over them or hand them to
+    :class:`MultiDomainCVAETrainer` to train jointly.  Ratings are split
+    80/20 into a train/eval partition of shared *users* for monitoring,
+    mirroring the paper's domain-adaptation phase split.
     """
 
     def __init__(
@@ -72,6 +97,17 @@ class DualCVAETrainer:
         self._check_dims(cvae_config)
         self.model = DualCVAE(cvae_config, rng=init_rng)
         self.history = TrainingHistory()
+        # One float32 copy up front keeps every batch slice in the model
+        # dtype without a per-step astype.
+        self._data = tuple(
+            np.asarray(arr, dtype=self.model.dtype)
+            for arr in (
+                pair.ratings_source,
+                pair.ratings_target,
+                pair.content_source,
+                pair.content_target,
+            )
+        )
 
         n = pair.n_shared_users
         order = ensure_rng(seed).permutation(n)
@@ -90,19 +126,16 @@ class DualCVAETrainer:
             raise ValueError("cvae_config.content_dim does not match the pair")
 
     def _batch(self, rows: np.ndarray) -> tuple[np.ndarray, ...]:
-        pair = self.pair
-        return (
-            pair.ratings_source[rows],
-            pair.ratings_target[rows],
-            pair.content_source[rows],
-            pair.content_target[rows],
-        )
+        return tuple(arr[rows] for arr in self._data)
+
+    def _eval_due(self, epoch: int) -> bool:
+        return (epoch + 1) % self.trainer_config.eval_every == 0
 
     def train(self) -> TrainingHistory:
         """Run the configured number of epochs; returns the loss history."""
         cfg = self.trainer_config
         optimizer = Adam(self.model.params, lr=cfg.lr, weight_decay=cfg.weight_decay)
-        for _ in range(cfg.epochs):
+        for epoch in range(cfg.epochs):
             epoch_loss = 0.0
             n_batches = 0
             for batch_idx in iter_batches(
@@ -118,14 +151,202 @@ class DualCVAETrainer:
                 n_batches += 1
                 self.history.record_terms(losses)
             self.history.train_loss.append(epoch_loss / max(n_batches, 1))
-            self.history.eval_loss.append(self.evaluate())
+            if self._eval_due(epoch):
+                self.history.eval_loss.append(self.evaluate())
         return self.history
 
     def evaluate(self) -> float:
-        """Total loss on the held-out shared users (no parameter updates)."""
+        """Total loss on the held-out shared users (loss-only forward)."""
         if self._eval_rows.size == 0:
             return float("nan")
-        losses, _ = self.model.loss_and_grads(
+        losses = self.model.loss_only(
             *self._batch(self._eval_rows), rng=np.random.default_rng(0)
         )
         return losses["total"]
+
+
+class MultiDomainCVAETrainer:
+    """Trains k scalar trainers' models jointly in one stacked pass per step.
+
+    Every per-domain ingredient — model initialization, train/eval row
+    split, minibatch shuffling, reparameterization noise, Adam moments and
+    step counts, gradient clipping — comes from (or matches) the scalar
+    trainers, so the fused run reproduces k independent sequential runs up
+    to float32 summation order.  Domains whose epochs have different batch
+    counts simply sit out the tail steps (their Adam state does not
+    advance), and ragged final batches ride zero-padded rows behind masks.
+    """
+
+    def __init__(self, trainers: list[DualCVAETrainer]):
+        if not trainers:
+            raise ValueError("MultiDomainCVAETrainer needs at least one trainer")
+        ref = trainers[0].trainer_config
+        if any(t.trainer_config != ref for t in trainers):
+            raise ValueError("all trainers must share one TrainerConfig")
+        self.trainers = trainers
+        self.trainer_config = ref
+        self.fused = FusedDualCVAE([t.model for t in trainers])
+        self._build_stores()
+
+    def _build_stores(self) -> None:
+        """Zero-padded per-branch data with a sentinel all-zero row.
+
+        Row index ``n_max`` of every slice is all zeros; padded row indices
+        point there, so batch assembly is a single fancy-index gather.
+        """
+        fused = self.fused
+        k = fused.k
+        dtype = fused.dtype
+        n_max = max(t.pair.n_shared_users for t in self.trainers)
+        self._sentinel = n_max
+        self._ratings = np.zeros(
+            (fused.n_stack, n_max + 1, fused.n_items_max), dtype=dtype
+        )
+        self._content = np.zeros(
+            (fused.n_stack, n_max + 1, fused.content_dim), dtype=dtype
+        )
+        for d, trainer in enumerate(self.trainers):
+            n = trainer.pair.n_shared_users
+            rs, rt, xs, xt = trainer._data
+            self._ratings[d, :n, : rs.shape[1]] = rs
+            self._ratings[k + d, :n, : rt.shape[1]] = rt
+            self._content[d, :n] = xs
+            self._content[k + d, :n] = xt
+
+    def _assemble(
+        self, rows_per_domain: list[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray, np.ndarray]:
+        """Gather one stacked batch from per-domain row index arrays."""
+        fused = self.fused
+        k = fused.k
+        sizes = np.array([rows.size for rows in rows_per_domain], dtype=np.int64)
+        batch = int(sizes.max())
+        rows = np.full((k, batch), self._sentinel, dtype=np.int64)
+        for d, r in enumerate(rows_per_domain):
+            rows[d, : r.size] = r
+        rows2 = np.concatenate([rows, rows], axis=0)
+        gather = np.arange(fused.n_stack)[:, None]
+        ratings = self._ratings[gather, rows2]
+        content = self._content[gather, rows2]
+        if np.all(sizes == batch):
+            row_mask = None
+        else:
+            mask_k = (np.arange(batch)[None, :] < sizes[:, None]).astype(fused.dtype)
+            row_mask = np.concatenate([mask_k, mask_k], axis=0)
+        row_counts = np.concatenate([sizes, sizes])
+        return ratings, content, row_mask, row_counts, sizes
+
+    def _draw_eps(
+        self, sizes: np.ndarray, rngs: list[np.random.Generator], batch: int
+    ) -> np.ndarray:
+        """Per-domain noise in the scalar draw order (side s, then side t)."""
+        fused = self.fused
+        k, latent = fused.k, fused.latent_dim
+        eps = np.zeros((fused.n_stack, batch, latent), dtype=fused.dtype)
+        for d in range(k):
+            b = int(sizes[d])
+            if b == 0:
+                continue
+            gen = rngs[d]
+            eps[d, :b] = gen.normal(size=(b, latent)).astype(fused.dtype, copy=False)
+            eps[k + d, :b] = gen.normal(size=(b, latent)).astype(
+                fused.dtype, copy=False
+            )
+        return eps
+
+    def train(self) -> list[TrainingHistory]:
+        """Train all domains; returns the scalar trainers' histories."""
+        cfg = self.trainer_config
+        fused = self.fused
+        k = fused.k
+        optimizer = StackedAdam(
+            fused.params,
+            n_stack=fused.n_stack,
+            lr=cfg.lr,
+            weight_decay=cfg.weight_decay,
+            flat_params=fused.flat_params,
+            flat_slices=fused.flat_slices,
+        )
+        noise_rngs = [t._noise_rng for t in self.trainers]
+        n_train = np.array([t._train_rows.size for t in self.trainers])
+        n_steps = int(np.ceil(n_train.max() / cfg.batch_size))
+        width = n_steps * cfg.batch_size
+        gather = np.arange(fused.n_stack)[:, None]
+        for epoch in range(cfg.epochs):
+            # One gather per epoch: each domain's rows in its own shuffled
+            # order (consuming the batch rng exactly like iter_batches),
+            # sentinel-padded to a common width so every step is an aligned
+            # zero-copy slice across all domains.
+            rows = np.full((k, width), self._sentinel, dtype=np.int64)
+            for d, trainer in enumerate(self.trainers):
+                order = np.arange(n_train[d])
+                trainer._batch_rng.shuffle(order)
+                rows[d, : n_train[d]] = trainer._train_rows[order]
+            rows2 = np.concatenate([rows, rows], axis=0)
+            epoch_ratings = self._ratings[gather, rows2]
+            epoch_content = self._content[gather, rows2]
+
+            epoch_loss = np.zeros(k)
+            n_batches = np.zeros(k, dtype=np.int64)
+            for step in range(n_steps):
+                start = step * cfg.batch_size
+                sizes = np.clip(n_train - start, 0, cfg.batch_size)
+                batch = int(sizes.max())
+                ratings = epoch_ratings[:, start : start + batch]
+                content = epoch_content[:, start : start + batch]
+                if np.all(sizes == batch):
+                    row_mask = None
+                else:
+                    mask_k = (
+                        np.arange(batch)[None, :] < sizes[:, None]
+                    ).astype(fused.dtype)
+                    row_mask = np.concatenate([mask_k, mask_k], axis=0)
+                row_counts = np.concatenate([sizes, sizes])
+                eps = self._draw_eps(sizes, noise_rngs, batch)
+                losses, grads = fused.loss_and_grads(
+                    ratings, content, eps, row_mask=row_mask, row_counts=row_counts
+                )
+                active = sizes > 0
+                optimizer.clipped_step(
+                    grads,
+                    cfg.grad_clip,
+                    fused.group_index,
+                    active=None if active.all() else np.concatenate([active, active]),
+                )
+                for d in np.flatnonzero(active):
+                    self.trainers[d].history.record_terms(
+                        {name: float(value[d]) for name, value in losses.items()}
+                    )
+                    epoch_loss[d] += float(losses["total"][d])
+                    n_batches[d] += 1
+            evals = (
+                self.evaluate()
+                if (epoch + 1) % cfg.eval_every == 0
+                else None
+            )
+            for d, trainer in enumerate(self.trainers):
+                trainer.history.train_loss.append(
+                    epoch_loss[d] / max(int(n_batches[d]), 1)
+                )
+                if evals is not None:
+                    trainer.history.eval_loss.append(evals[d])
+        fused.write_back()
+        return [t.history for t in self.trainers]
+
+    def evaluate(self) -> list[float]:
+        """Held-out loss per domain, matching each scalar ``evaluate()``."""
+        rows_per_domain = [t._eval_rows for t in self.trainers]
+        if all(rows.size == 0 for rows in rows_per_domain):
+            return [float("nan")] * len(self.trainers)
+        ratings, content, row_mask, row_counts, sizes = self._assemble(
+            rows_per_domain
+        )
+        rngs = [np.random.default_rng(0) for _ in self.trainers]
+        eps = self._draw_eps(sizes, rngs, ratings.shape[1])
+        losses = self.fused.loss_only(
+            ratings, content, eps, row_mask=row_mask, row_counts=row_counts
+        )
+        return [
+            float(losses["total"][d]) if sizes[d] else float("nan")
+            for d in range(len(self.trainers))
+        ]

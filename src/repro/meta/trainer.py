@@ -102,6 +102,22 @@ class MetaDPA(Recommender):
         self.augmented: AugmentedRatings | None = None
         self._ctx: FitContext | None = None
         self.meta_loss_history: list[float] = []
+        self._aug_cache = None
+        self._aug_cache_token = ""
+        #: cache/training telemetry of the last ``fit`` (``None`` before it).
+        self.augmentation_info: dict | None = None
+
+    def set_augmentation_cache(self, cache, token: str = "") -> None:
+        """Attach an :class:`~repro.cvae.cache.AugmentationCache`.
+
+        ``token`` must identify the dataset (e.g. its canonical spec), so a
+        cache directory is never shared across different benchmarks.  With
+        a cache attached, ``fit`` skips the k Dual-CVAE trainings entirely
+        whenever an identical augmentation is already stored — the expensive
+        block 1+2 of MetaDPA becomes a disk read for repeated grid cells.
+        """
+        self._aug_cache = cache
+        self._aug_cache_token = token
 
     # ------------------------------------------------------------------
     def fit(self, ctx: FitContext) -> "MetaDPA":
@@ -124,14 +140,24 @@ class MetaDPA(Recommender):
                 },
                 trainer_config=TrainerConfig(epochs=cfg.cvae_epochs, lr=cfg.cvae_lr),
                 seed=int(aug_rng.integers(0, 2**31 - 1)),
+                cache=self._aug_cache,
+                cache_token=self._aug_cache_token,
             )
             self.augmented = augmenter.fit_generate()
+            self.augmentation_info = {
+                "cvae_trainings": augmenter.n_trained,
+            }
+            if augmenter.cache_hit is not None:
+                self.augmentation_info["augmentation_cache"] = (
+                    "hit" if augmenter.cache_hit else "miss"
+                )
             if cfg.sharpen_augmented:
                 self.augmented.matrices = [
                     _sharpen_per_user(m) for m in self.augmented.matrices
                 ]
         else:
             self.augmented = None
+            self.augmentation_info = {"cvae_trainings": 0}
 
         # Block 3: preference meta-learning over original + augmented tasks.
         model = self._build_model(domain.user_content.shape[1])

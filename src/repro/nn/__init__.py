@@ -31,12 +31,22 @@ from repro.nn.losses import (
     binary_cross_entropy_tasks,
     gaussian_kl,
     gaussian_kl_to_code,
+    gaussian_kl_to_code_stacked,
     info_nce,
+    info_nce_stacked,
     mse_loss,
 )
 from repro.nn.module import Module, Sequential, mlp
-from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm, mean_task_grads
-from repro.nn.stacking import stack_params, tile_params, tree_map, unstack_params
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    Optimizer,
+    StackedAdam,
+    clip_grad_norm,
+    clip_grad_norm_grouped,
+    mean_task_grads,
+)
+from repro.nn.stacking import pad_axis, stack_params, tile_params, tree_map, unstack_params
 from repro.nn.grad_check import numerical_gradient, relative_error
 from repro.nn.serialization import load_params, params_equal, save_params
 from repro.nn.schedulers import CosineDecay, Scheduler, StepDecay, WarmupLinear
@@ -58,12 +68,17 @@ __all__ = [
     "mse_loss",
     "gaussian_kl",
     "gaussian_kl_to_code",
+    "gaussian_kl_to_code_stacked",
     "info_nce",
+    "info_nce_stacked",
     "SGD",
     "Adam",
     "Optimizer",
+    "StackedAdam",
     "clip_grad_norm",
+    "clip_grad_norm_grouped",
     "mean_task_grads",
+    "pad_axis",
     "stack_params",
     "unstack_params",
     "tile_params",

@@ -306,13 +306,18 @@ class Softmax(Module):
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable sigmoid usable outside the layer API."""
-    out = np.empty_like(x, dtype=float)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
-    return out
+    """Numerically stable sigmoid usable outside the layer API.
+
+    Branch-free: ``exp(-|x|)`` never overflows, and the two-sided select
+    computes the same per-element values as the classic sign-split form
+    (bit for bit) without its gather/scatter cost.  Preserves floating
+    dtypes, so a float32 model stays float32 end to end.
+    """
+    x = np.asarray(x)
+    if not np.issubdtype(x.dtype, np.floating):
+        x = x.astype(np.float64)
+    ex = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0 / (1.0 + ex), ex / (1.0 + ex))
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:

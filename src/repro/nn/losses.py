@@ -74,6 +74,127 @@ def binary_cross_entropy_tasks(
     return losses, grad
 
 
+def gaussian_kl_to_code_stacked(
+    mu: np.ndarray,
+    log_var: np.ndarray,
+    code: np.ndarray,
+    row_mask: np.ndarray | None = None,
+    counts: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-slice content-conditioned KL for stacked ``(D, batch, latent)``.
+
+    Mirrors :func:`gaussian_kl_to_code` independently per leading slice,
+    normalizing by each slice's real row count (``counts``, default the
+    ``row_mask`` sum or the padded batch size).  Padded rows (mask 0) carry
+    neither loss nor gradient.
+    """
+    var = np.exp(log_var)
+    diff = mu - code
+    per_row = 0.5 * (var + diff * diff - log_var - 1.0)
+    grad_mu = diff
+    grad_code = -diff
+    grad_log_var = 0.5 * (var - 1.0)
+    if row_mask is not None:
+        m = row_mask[..., None]
+        per_row = per_row * m
+        grad_mu = grad_mu * m
+        grad_code = grad_code * m
+        grad_log_var = grad_log_var * m
+    if counts is None:
+        if row_mask is not None:
+            counts = row_mask.sum(axis=1)
+        else:
+            counts = np.full(mu.shape[0], float(mu.shape[1]), dtype=mu.dtype)
+    counts = np.maximum(np.asarray(counts, dtype=mu.dtype), 1.0)
+    kl = per_row.reshape(mu.shape[0], -1).sum(axis=1) / counts
+    c = counts[:, None, None]
+    return kl, grad_mu / c, grad_log_var / c, grad_code / c
+
+
+def _masked_softmax(logits: np.ndarray, valid: np.ndarray, axis: int) -> np.ndarray:
+    """Softmax over ``axis`` restricted to ``valid`` entries (0 elsewhere)."""
+    neg = np.finfo(logits.dtype).min
+    x = np.where(valid, logits, neg)
+    x = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(x) * valid
+    denom = e.sum(axis=axis, keepdims=True)
+    return e / np.maximum(denom, np.finfo(logits.dtype).tiny)
+
+
+def info_nce_stacked(
+    a: np.ndarray,
+    b: np.ndarray,
+    row_mask: np.ndarray | None = None,
+    temperature: float = 0.1,
+    normalize: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-slice InfoNCE for stacked ``(D, batch, dim)`` representations.
+
+    Computes :func:`info_nce` independently for every slice of the leading
+    axis in one batched pass.  ``row_mask`` ``(D, batch)`` marks real rows;
+    padded rows are excluded from the contrastive softmax and receive zero
+    gradients.  Slices with fewer than two real rows get loss 0 and zero
+    gradients, matching the scalar convention.
+
+    Returns ``(losses, grad_a, grad_b)`` with ``losses`` of shape ``(D,)``.
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    n_stack, batch, _ = a.shape
+
+    if normalize:
+        norm_a = np.maximum(np.linalg.norm(a, axis=2, keepdims=True), 1e-8)
+        norm_b = np.maximum(np.linalg.norm(b, axis=2, keepdims=True), 1e-8)
+        a_hat = a / norm_a
+        b_hat = b / norm_b
+    else:
+        a_hat, b_hat = a, b
+
+    logits = (a_hat @ np.swapaxes(b_hat, 1, 2)) / temperature  # (D, B, B)
+    idx = np.arange(batch)
+    if row_mask is None:
+        # Fast path: every row is real, the softmaxes need no masking.
+        counts = np.full(n_stack, batch, dtype=a.dtype)
+        p_rows = softmax(logits, axis=2)
+        p_cols = softmax(logits, axis=1)
+        eye = np.zeros_like(p_rows)
+        eye[:, idx, idx] = 1.0
+        row_weight = None
+    else:
+        counts = row_mask.sum(axis=1)
+        pair = (row_mask[:, :, None] * row_mask[:, None, :]) > 0
+        p_rows = _masked_softmax(logits, pair, axis=2)
+        p_cols = _masked_softmax(logits, pair, axis=1)
+        eye = np.zeros_like(p_rows)
+        eye[:, idx, idx] = row_mask
+        row_weight = row_mask
+
+    active = (counts >= 2).astype(a.dtype)  # single pairs carry no signal
+    safe_counts = np.maximum(counts, 1.0)
+    log_rows = -np.log(np.clip(p_rows[:, idx, idx], _EPS, None))
+    log_cols = -np.log(np.clip(p_cols[:, idx, idx], _EPS, None))
+    if row_weight is not None:
+        log_rows = log_rows * row_weight
+        log_cols = log_cols * row_weight
+    loss_ab = log_rows.sum(axis=1) / safe_counts
+    loss_ba = log_cols.sum(axis=1) / safe_counts
+    losses = 0.5 * (loss_ab + loss_ba) * active
+
+    scale = (active / safe_counts)[:, None, None]
+    dlogits = 0.5 * ((p_rows - eye) + (p_cols - eye)) * scale
+    grad_a_hat = (dlogits @ b_hat) / temperature
+    grad_b_hat = (np.swapaxes(dlogits, 1, 2) @ a_hat) / temperature
+    if not normalize:
+        return losses, grad_a_hat, grad_b_hat
+    grad_a = (
+        grad_a_hat - (grad_a_hat * a_hat).sum(axis=2, keepdims=True) * a_hat
+    ) / norm_a
+    grad_b = (
+        grad_b_hat - (grad_b_hat * b_hat).sum(axis=2, keepdims=True) * b_hat
+    ) / norm_b
+    return losses, grad_a, grad_b
+
+
 def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
     """Mean squared error ``mean((pred - target)^2)``."""
     diff = pred - target
@@ -169,7 +290,7 @@ def info_nce(
     loss = 0.5 * (loss_ab + loss_ba)
 
     # d loss_ab / d logits = (p_rows - I) / batch ; similarly for columns.
-    eye = np.eye(batch)
+    eye = np.eye(batch, dtype=p_rows.dtype)
     dlogits = 0.5 * ((p_rows - eye) + (p_cols - eye)) / batch
     grad_a_hat = (dlogits @ b_hat) / temperature
     grad_b_hat = (dlogits.T @ a_hat) / temperature

@@ -109,6 +109,283 @@ class Adam(Optimizer):
             self.params[name] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
 
+class StackedAdam(Optimizer):
+    """Adam over parameters stacked along a leading ``[D, ...]`` axis.
+
+    Every array in ``params`` carries the same leading stack axis; each slice
+    is an independent model trained with its *own* Adam state, including its
+    own step counter — so ``D`` models whose batch schedules differ (some
+    slices sit a step out) stay on the trajectory a per-model :class:`Adam`
+    would have produced.  ``step`` takes an optional boolean ``active`` mask
+    of shape ``(D,)``: inactive slices advance neither their moments nor
+    their step count nor their weights.
+
+    Flat mode: when every value of ``params`` is a view into one contiguous
+    slice-major ``(D, S)`` buffer (``flat_params``/``flat_slices``, as built
+    by :class:`~repro.cvae.model.FusedDualCVAE`), updates run as ~a dozen
+    whole-model vector ops against preallocated moment buffers — the
+    optimizer all but vanishes from the fused training profile — and
+    :meth:`clipped_step` folds per-group gradient clipping into the same
+    gathered pass.  The arithmetic keeps the scalar optimizer's operation
+    order, so flat, dict and per-model updates agree element for element.
+    """
+
+    def __init__(
+        self,
+        params: Params,
+        n_stack: int,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        flat_params: np.ndarray | None = None,
+        flat_slices: dict[str, tuple[int, int, tuple[int, ...]]] | None = None,
+    ):
+        super().__init__(params, lr, weight_decay)
+        if n_stack <= 0:
+            raise ValueError("n_stack must be positive")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        for name, value in params.items():
+            if value.shape[:1] != (n_stack,):
+                raise ValueError(
+                    f"parameter {name!r} has leading dim {value.shape[:1]}, "
+                    f"expected the stack axis ({n_stack},)"
+                )
+        self.n_stack = n_stack
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._buf: dict[str, np.ndarray] = {}
+        self._t = np.zeros(n_stack, dtype=np.int64)
+        self._flat = None
+        if flat_params is not None:
+            if flat_slices is None:
+                raise ValueError("flat_params requires flat_slices")
+            if flat_params.ndim != 2 or flat_params.shape[0] != n_stack:
+                raise ValueError(
+                    "flat_params must be a slice-major (n_stack, S) buffer"
+                )
+            for name, (offset, size, shape) in flat_slices.items():
+                view = flat_params[:, offset : offset + size].reshape(shape)
+                if not np.shares_memory(params[name], view):
+                    raise ValueError(
+                        f"parameter {name!r} is not a view into flat_params"
+                    )
+            self._flat = flat_params
+            self._slices = dict(flat_slices)
+            self._fm = np.zeros_like(flat_params)
+            self._fv = np.zeros_like(flat_params)
+            self._fbuf = np.empty_like(flat_params)
+            self._fgrad = np.empty_like(flat_params)
+
+    @staticmethod
+    def _expand(vec: np.ndarray, ndim: int) -> np.ndarray:
+        """Reshape a per-slice ``(D,)`` vector to broadcast over slice dims."""
+        return vec.reshape(vec.shape[0], *([1] * (ndim - 1)))
+
+    def _normalize_active(self, active: np.ndarray | None) -> np.ndarray | None:
+        if active is None:
+            return None
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (self.n_stack,):
+            raise ValueError(f"active mask must have shape ({self.n_stack},)")
+        return None if active.all() else active
+
+    def step(self, grads: Grads, active: np.ndarray | None = None) -> None:
+        """Advance every (active) slice one Adam step.
+
+        ``grads`` may be consumed as scratch space — callers must not rely
+        on the arrays afterwards.
+        """
+        active = self._normalize_active(active)
+        if active is not None and not active.any():
+            return
+        if self._flat is not None:
+            self._gather(grads)
+            self._flat_update(active)
+            return
+        if active is None and self._t.min() == self._t.max():
+            self._t += 1
+            self._step_inplace(grads, int(self._t[0]))
+            return
+        self._step_dict(grads, active)
+
+    def clipped_step(
+        self,
+        grads: Grads,
+        max_norm: float,
+        group_index: np.ndarray,
+        active: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-group clip + Adam step in one gathered pass (flat mode).
+
+        Folding the clip into the optimizer lets the per-group norms come
+        from a single contraction over the slice-major gradient buffer
+        instead of one reduction per parameter.  Returns the per-group
+        pre-clip L2 norms.  Without flat storage this degrades gracefully
+        to :func:`clip_grad_norm_grouped` followed by :meth:`step`.
+        """
+        if self._flat is None:
+            norms = clip_grad_norm_grouped(grads, max_norm, group_index)
+            self.step(grads, active=active)
+            return norms
+        if max_norm <= 0:
+            raise ValueError("max_norm must be positive")
+        active = self._normalize_active(active)
+        group_index = np.asarray(group_index, dtype=np.int64)
+        self._gather(grads)
+        sq = np.einsum("ij,ij->i", self._fgrad, self._fgrad).astype(np.float64)
+        n_groups = int(group_index.max()) + 1
+        group_sq = np.zeros(n_groups, dtype=np.float64)
+        np.add.at(group_sq, group_index, sq)
+        norms = np.sqrt(group_sq)
+        scales = np.where(norms > max_norm, max_norm / (norms + 1e-12), 1.0)
+        if np.any(scales < 1.0):
+            per_slice = scales[group_index][:, None].astype(self._fgrad.dtype)
+            self._fgrad *= per_slice
+        if active is None or active.any():
+            self._flat_update(active)
+        return norms
+
+    # ------------------------------------------------------------------
+    # flat (slice-major) paths
+    # ------------------------------------------------------------------
+    def _gather(self, grads: Grads) -> None:
+        for name, (offset, size, _) in self._slices.items():
+            self._fgrad[:, offset : offset + size] = grads[name].reshape(
+                self.n_stack, -1
+            )
+
+    def _flat_update(self, active: np.ndarray | None) -> None:
+        """In-place whole-model Adam over the flat buffers.
+
+        Masked slices are handled by stash-and-restore: the update runs over
+        the full buffer (allocation-free), then the few inactive rows are
+        copied back — exactness for active slices is untouched and the cost
+        is proportional to the (rare, small) inactive set.
+        """
+        stash = None
+        if active is not None:
+            idx = np.flatnonzero(~active)
+            stash = (
+                idx,
+                self._flat[idx].copy(),
+                self._fm[idx].copy(),
+                self._fv[idx].copy(),
+            )
+            self._t += active
+        else:
+            self._t += 1
+        t_min, t_max = int(self._t.min()), int(self._t.max())
+        if t_min == t_max:
+            bias1 = 1.0 - self.beta1**t_max
+            bias2 = 1.0 - self.beta2**t_max
+        else:
+            t_safe = np.maximum(self._t, 1)
+            bias1 = (1.0 - self.beta1**t_safe).astype(self._flat.dtype)[:, None]
+            bias2 = (1.0 - self.beta2**t_safe).astype(self._flat.dtype)[:, None]
+        flat, m, v, buf, grad = (
+            self._flat, self._fm, self._fv, self._fbuf, self._fgrad,
+        )
+        if self.weight_decay:
+            np.multiply(flat, self.weight_decay, out=buf)
+            grad += buf
+        # m = beta1*m + (1-beta1)*grad
+        m *= self.beta1
+        np.multiply(grad, 1.0 - self.beta1, out=buf)
+        m += buf
+        # v = beta2*v + ((1-beta2)*grad)*grad  (scalar-Adam association)
+        np.multiply(grad, 1.0 - self.beta2, out=buf)
+        buf *= grad
+        v *= self.beta2
+        v += buf
+        # param -= (lr * (m/bias1)) / (sqrt(v/bias2) + eps); grad is dead
+        # and doubles as the denominator scratch.
+        np.divide(v, bias2, out=grad)
+        np.sqrt(grad, out=grad)
+        grad += self.eps
+        np.divide(m, bias1, out=buf)
+        buf *= self.lr
+        buf /= grad
+        flat -= buf
+        if stash is not None:
+            idx, flat_rows, m_rows, v_rows = stash
+            self._flat[idx] = flat_rows
+            self._fm[idx] = m_rows
+            self._fv[idx] = v_rows
+
+    # ------------------------------------------------------------------
+    # dict paths (no flat storage attached)
+    # ------------------------------------------------------------------
+    def _step_dict(self, grads: Grads, active: np.ndarray | None) -> None:
+        self._t = self._t + (1 if active is None else active.astype(np.int64))
+        for name, grad in grads.items():
+            grad = self._decayed(name, grad)
+            m = self._m.get(name)
+            v = self._v.get(name)
+            if m is None:
+                m = np.zeros_like(grad)
+                v = np.zeros_like(grad)
+            m_new = self.beta1 * m + (1.0 - self.beta1) * grad
+            v_new = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            # Bias corrections are per slice; cast to the parameter dtype so
+            # a float32 model updates in float32 exactly like scalar Adam.
+            # Never-stepped slices (t=0, only reachable while masked out)
+            # use t=1 to avoid a 0/0 — their update is discarded below.
+            t_safe = np.maximum(self._t, 1)
+            bias1 = (1.0 - self.beta1**t_safe).astype(grad.dtype)
+            bias2 = (1.0 - self.beta2**t_safe).astype(grad.dtype)
+            update = (
+                self.lr
+                * (m_new / self._expand(bias1, m_new.ndim))
+                / (np.sqrt(v_new / self._expand(bias2, v_new.ndim)) + self.eps)
+            )
+            if active is not None:
+                keep = self._expand(active, m_new.ndim)
+                m_new = np.where(keep, m_new, m)
+                v_new = np.where(keep, v_new, v)
+                update = np.where(keep, update, 0.0)
+            self._m[name] = m_new
+            self._v[name] = v_new
+            self.params[name] -= update
+
+    def _step_inplace(self, grads: Grads, t: int) -> None:
+        """Allocation-free per-parameter update (dict mode, all active)."""
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for name, grad in grads.items():
+            param = self.params[name]
+            buf = self._buf.get(name)
+            if buf is None:
+                buf = self._buf[name] = np.empty_like(grad)
+            m = self._m.get(name)
+            if m is None:
+                m = self._m[name] = np.zeros_like(grad)
+                self._v[name] = np.zeros_like(grad)
+            v = self._v[name]
+            if self.weight_decay:
+                np.multiply(param, self.weight_decay, out=buf)
+                grad += buf
+            m *= self.beta1
+            np.multiply(grad, 1.0 - self.beta1, out=buf)
+            m += buf
+            np.multiply(grad, 1.0 - self.beta2, out=buf)
+            buf *= grad
+            v *= self.beta2
+            v += buf
+            np.divide(v, bias2, out=grad)
+            np.sqrt(grad, out=grad)
+            grad += self.eps
+            np.divide(m, bias1, out=buf)
+            buf *= self.lr
+            buf /= grad
+            param -= buf
+
+
 def clip_grad_norm(grads: Grads, max_norm: float) -> float:
     """Clip gradients in place to a global L2 norm; returns the pre-clip norm."""
     if max_norm <= 0:
@@ -122,6 +399,40 @@ def clip_grad_norm(grads: Grads, max_norm: float) -> float:
         for name in grads:
             grads[name] = grads[name] * scale
     return norm
+
+
+def clip_grad_norm_grouped(
+    grads: Grads, max_norm: float, group_index: np.ndarray
+) -> np.ndarray:
+    """Per-group L2 clipping for gradients stacked along a leading axis.
+
+    ``group_index[d]`` names the group slice ``d`` belongs to; each group's
+    norm is taken over *all* of its slices across every gradient array (the
+    fused Dual-CVAE folds a domain's source and target branches into one
+    group, reproducing the sequential trainer's whole-model clip).  Clipping
+    happens in place per group; returns the per-group pre-clip norms.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    group_index = np.asarray(group_index, dtype=np.int64)
+    n_groups = int(group_index.max()) + 1
+    sq_per_slice = np.zeros(group_index.shape[0], dtype=np.float64)
+    for grad in grads.values():
+        # einsum contracts without materializing grad*grad; accumulate
+        # across arrays in float64 like the scalar clip_grad_norm.
+        subs = "i" + "abcdefg"[: grad.ndim - 1]
+        sq = np.einsum(f"{subs},{subs}->i", grad, grad)
+        sq_per_slice += sq.astype(np.float64)
+    sq_per_group = np.zeros(n_groups, dtype=np.float64)
+    np.add.at(sq_per_group, group_index, sq_per_slice)
+    norms = np.sqrt(sq_per_group)
+    scales = np.where(norms > max_norm, max_norm / (norms + 1e-12), 1.0)
+    if np.any(scales < 1.0):
+        per_slice = scales[group_index]
+        for name, grad in grads.items():
+            grad_scales = per_slice.reshape(-1, *([1] * (grad.ndim - 1)))
+            grads[name] = grad * grad_scales.astype(grad.dtype)
+    return norms
 
 
 def mean_task_grads(grads: Grads) -> Grads:

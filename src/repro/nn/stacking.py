@@ -89,6 +89,34 @@ def unstack_params(
     ]
 
 
+def pad_axis(
+    value: np.ndarray, axis: int, new_size: int, offset: int = 0
+) -> np.ndarray:
+    """Zero-pad ``value`` along ``axis`` to ``new_size``, placed at ``offset``.
+
+    The glue for stacking same-architecture models whose widths differ along
+    one axis (e.g. per-domain item counts): each model's weight is dropped
+    into a zero block of the common width, so :func:`stack_params` can stack
+    them and a batched op runs all models at once.  Zero padding is exact —
+    padded rows/columns contribute nothing to forward passes and receive
+    zero gradients when inputs/masks are zero-padded consistently.
+    """
+    size = value.shape[axis]
+    if offset < 0 or offset + size > new_size:
+        raise ValueError(
+            f"cannot pad axis {axis} of size {size} to {new_size} at offset {offset}"
+        )
+    if size == new_size and offset == 0:
+        return value.copy()
+    shape = list(value.shape)
+    shape[axis] = new_size
+    out = np.zeros(shape, dtype=value.dtype)
+    index = [slice(None)] * value.ndim
+    index[axis] = slice(offset, offset + size)
+    out[tuple(index)] = value
+    return out
+
+
 def tile_params(
     params: Params, n: int, keys: Iterable[str] | None = None
 ) -> Params:

@@ -28,12 +28,21 @@ class IncompleteGridError(RuntimeError):
 
 @dataclass
 class GridStatus:
-    """Completion state of one grid run directory."""
+    """Completion state of one grid run directory.
+
+    Besides cell completion, reports the augmentation cache's state: how
+    many distinct augmentations the run directory holds and how many stored
+    cells recorded a cache hit versus a miss (i.e. how many MetaDPA-family
+    fits skipped their k Dual-CVAE trainings entirely).
+    """
 
     run_dir: str
     n_cells: int
     n_complete: int
     missing: list[GridCell] = field(default_factory=list)
+    n_augmentations_cached: int = 0
+    augmentation_hits: int = 0
+    augmentation_misses: int = 0
 
     @property
     def complete(self) -> bool:
@@ -51,6 +60,17 @@ class GridStatus:
             lines.append(
                 f"  missing {count} cell(s): {label} on {target} seed={seed}"
             )
+        if (
+            self.n_augmentations_cached
+            or self.augmentation_hits
+            or self.augmentation_misses
+        ):
+            lines.append(
+                f"  augmentation cache: {self.n_augmentations_cached} entr"
+                f"{'y' if self.n_augmentations_cached == 1 else 'ies'}; "
+                f"{self.augmentation_hits} cell(s) hit, "
+                f"{self.augmentation_misses} missed"
+            )
         return "\n".join(lines)
 
 
@@ -63,12 +83,28 @@ def grid_status(run: RunStore | str | Path, spec: GridSpec | None = None) -> Gri
     """How much of the grid is done, and which cells are still missing."""
     store, spec = _resolve(run, spec)
     cells = spec.expand()
-    missing = [cell for cell in cells if not store.is_complete(cell.key)]
+    missing: list[GridCell] = []
+    hits = misses = 0
+    for cell in cells:
+        result = store.load_cell(cell.key)
+        if result is None:
+            missing.append(cell)
+            continue
+        state = result.extras.get("augmentation_cache")
+        if state == "hit":
+            hits += 1
+        elif state == "miss":
+            misses += 1
+    augmented_dir = store.run_dir / "augmented"
+    n_cached = len(list(augmented_dir.glob("*.npz"))) if augmented_dir.exists() else 0
     return GridStatus(
         run_dir=str(store.run_dir),
         n_cells=len(cells),
         n_complete=len(cells) - len(missing),
         missing=missing,
+        n_augmentations_cached=n_cached,
+        augmentation_hits=hits,
+        augmentation_misses=misses,
     )
 
 

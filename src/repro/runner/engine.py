@@ -81,8 +81,10 @@ def _process_unit(
     :func:`run_grid` already validated every stored cell, so this does not
     re-read the store.
     """
+    from repro.cvae.cache import AugmentationCache
     from repro.eval.protocol import evaluate_prepared
     from repro.registry import build_method
+    from repro.utils.persist import canonical_json
 
     if not scenarios:
         return 0
@@ -90,14 +92,25 @@ def _process_unit(
         spec, unit.target, unit.seed, store.prepared_dir, dataset=dataset
     )
     method = build_method(dict(unit.method_config), seed=unit.seed)
+    if hasattr(method, "set_augmentation_cache"):
+        # Augmentations depend only on (dataset, target, seed, CVAE knobs),
+        # so cells sweeping meta-level settings share one cached entry and
+        # a replayed cell retrains zero Dual-CVAEs.
+        method.set_augmentation_cache(
+            AugmentationCache(store.run_dir / "augmented"),
+            token=canonical_json({"dataset": spec.dataset.to_dict()}),
+        )
     results = evaluate_prepared(method, experiment, scenarios=scenarios, k=spec.k)
 
-    extras: dict[str, float] = {}
+    extras: dict[str, object] = {}
     augmented = getattr(method, "augmented", None)
     if augmented is not None:
         from repro.cvae.augment import rating_diversity
 
         extras["diversity"] = float(rating_diversity(augmented))
+    augmentation_info = getattr(method, "augmentation_info", None)
+    if augmentation_info:
+        extras.update(augmentation_info)
 
     for scenario in scenarios:
         result = results[scenario]

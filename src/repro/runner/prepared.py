@@ -14,15 +14,14 @@ duplicate the preparation work — they never read a half-written bundle.
 from __future__ import annotations
 
 import hashlib
-import os
 import pickle
-import uuid
 from pathlib import Path
 
 import numpy as np
 
 from repro.data.experiment import Experiment, prepare_experiment
-from repro.runner.spec import DatasetSpec, GridSpec, canonical_json
+from repro.runner.spec import DatasetSpec, GridSpec
+from repro.utils.persist import atomic_write_bytes, canonical_json
 
 #: per-process memo of built datasets, keyed by the dataset spec.
 _DATASET_MEMO: dict[str, object] = {}
@@ -87,9 +86,7 @@ def _record_or_check_fingerprint(cache_dir: Path, dataset) -> None:
             )
         return
     cache_dir.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex}")
-    tmp.write_text(fingerprint + "\n")
-    os.replace(tmp, path)
+    atomic_write_bytes(path, (fingerprint + "\n").encode())
 
 
 def load_or_prepare(
@@ -128,10 +125,9 @@ def load_or_prepare(
         scenarios=list(spec.scenarios),
     )
     cache_dir.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex}")
-    with tmp.open("wb") as fh:
-        pickle.dump(experiment, fh, protocol=pickle.HIGHEST_PROTOCOL)
-    os.replace(tmp, path)
+    atomic_write_bytes(
+        path, pickle.dumps(experiment, protocol=pickle.HIGHEST_PROTOCOL)
+    )
     _PREPARED_MEMO[key] = experiment
     return experiment
 

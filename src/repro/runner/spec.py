@@ -22,14 +22,15 @@ from typing import Any, Iterable, Mapping
 
 from repro.data.splits import Scenario
 from repro.registry import TABLE3_METHODS, PROFILES, config_class
+from repro.utils.persist import canonical_json
+
+__all__ = [
+    "DatasetSpec", "GridCell", "GridSpec", "WorkUnit",
+    "canonical_json", "parse_scenario", "scenarios_from",
+]
 
 #: keys of a method entry that are not hyper-parameter overrides.
 _METHOD_META_KEYS = ("name", "label", "profile")
-
-
-def canonical_json(payload: Any) -> str:
-    """Deterministic JSON used for hashing and spec equality."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def parse_scenario(value: str | Scenario) -> Scenario:

@@ -22,8 +22,6 @@ from __future__ import annotations
 
 import io
 import json
-import os
-import uuid
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -33,6 +31,7 @@ import numpy as np
 
 from repro.eval.metrics import MetricSet
 from repro.runner.spec import GridCell, GridSpec
+from repro.utils.persist import atomic_write_bytes as _atomic_write_bytes
 
 _FORMAT_VERSION = 1
 _METRIC_KEYS = ("hr", "mrr", "ndcg", "auc", "n_trials", "k")
@@ -55,12 +54,6 @@ class CellResult:
     @property
     def scenario_value(self) -> str:
         return self.meta["scenario"]
-
-
-def _atomic_write_bytes(path: Path, data: bytes) -> None:
-    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex}")
-    tmp.write_bytes(data)
-    os.replace(tmp, path)
 
 
 def pack_score_lists(score_lists: list[np.ndarray]) -> dict[str, np.ndarray]:

@@ -1,0 +1,39 @@
+"""Crash-safe file writing and canonical JSON, shared by every store.
+
+The grid :class:`~repro.runner.store.RunStore`, the prepared-experiment
+cache and the augmentation cache all follow the same two conventions:
+
+- every write goes through a uniquely named temp file followed by
+  ``os.replace``, so concurrent writers never interleave bytes and readers
+  only ever see a missing file or a complete one;
+- every content-addressed key hashes the *canonical* JSON of its payload
+  (sorted keys, no whitespace), so identical configurations share entries
+  and any changed field changes the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from pathlib import Path
+from typing import Any
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON used for hashing and equality of configurations."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(payload: Any, length: int = 20) -> str:
+    """Short content hash of a JSON-able payload."""
+    digest = hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+    return digest[:length]
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (unique temp file + rename)."""
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex}")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)

@@ -77,7 +77,19 @@ class TestDualCVAEForward:
         model = DualCVAE(config, rng=0)
         _, _, _, xt = _tiny_batch(config=config)
         out = model.generate_from_content(xt)
-        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-9)
+        # float32 end-to-end: sums match 1 to single-precision rounding.
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_params_and_outputs_are_float32(self):
+        """The training hot path must not let float64 creep back in."""
+        config = _tiny_config()
+        model = DualCVAE(config, rng=0)
+        assert all(v.dtype == np.float32 for v in model.params.values())
+        batch = _tiny_batch(config=config)
+        losses, grads = model.loss_and_grads(*batch, rng=0)
+        assert all(g.dtype == np.float32 for g in grads.values())
+        out = model.generate_from_content(batch[3])
+        assert out.dtype == np.float32
 
 
 class TestDualCVAEGradients:
@@ -90,7 +102,9 @@ class TestDualCVAEGradients:
     @pytest.mark.parametrize("beta1,beta2", [(0.0, 0.0), (0.1, 1.0)])
     def test_grads_match_numerical(self, beta1, beta2):
         config = _tiny_config(beta1=beta1, beta2=beta2)
-        model = DualCVAE(config, rng=0)
+        # float64: finite differences at eps=1e-5 would drown in float32
+        # rounding; the shipped model trains in float32.
+        model = DualCVAE(config, rng=0, dtype=np.float64)
         batch = _tiny_batch(config=config)
 
         def loss_fn():
