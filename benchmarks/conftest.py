@@ -9,6 +9,9 @@ Machine-readable results: after a benchmark run, every benchmark writes a
 ``BENCH_<name>.json`` file (wall time, throughput, ``extra_info``) into
 ``benchmarks/results/`` (override with ``BENCH_RESULTS_DIR``), so the perf
 trajectory is trackable across PRs and CI uploads the files as artifacts.
+Memory wins are tracked alongside speedups: every payload's ``extra_info``
+records the process peak RSS at session end, and memory-focused benches add
+their own byte counts (e.g. ``corpus_bytes`` in ``bench_meta_corpus``).
 """
 
 from __future__ import annotations
@@ -16,12 +19,24 @@ from __future__ import annotations
 import json
 import os
 import re
+import sys
 import time
 from pathlib import Path
 
 import pytest
 
 from repro.data.amazon import BenchmarkScale, make_amazon_like_benchmark
+
+
+def _peak_rss_bytes() -> int | None:
+    """Peak resident set size of this process, in bytes (None if unknown)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX
+        return None
+    peak = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    # ru_maxrss is KiB on Linux but bytes on macOS.
+    return peak if sys.platform == "darwin" else peak * 1024
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -33,9 +48,12 @@ def pytest_sessionfinish(session, exitstatus):
         os.environ.get("BENCH_RESULTS_DIR", Path(__file__).parent / "results")
     )
     out_dir.mkdir(parents=True, exist_ok=True)
+    peak_rss = _peak_rss_bytes()
     for bench in bench_session.benchmarks:
         if getattr(bench, "has_error", False):
             continue
+        if peak_rss is not None:
+            bench.extra_info.setdefault("peak_rss_bytes", peak_rss)
         stats = bench.stats
         mean = float(stats.mean)
         payload = {

@@ -17,12 +17,12 @@ import numpy as np
 from repro.core.interface import FitContext, Recommender
 from repro.data.negative_sampling import EvalInstance
 from repro.data.tasks import PreferenceTask
+from repro.meta.corpus import PackedContent, PackedContentMixin, TaskCorpusBuilder
 from repro.meta.maml import (
     MAML,
     MAMLConfig,
     adapt_task_states,
     batched_candidate_scores,
-    materialize_task,
     subsample_support,
 )
 from repro.meta.model import PreferenceModel, PreferenceModelConfig
@@ -30,7 +30,7 @@ from repro.nn.module import Params
 from repro.utils.rng import spawn_rngs
 
 
-class MeLU(Recommender):
+class MeLU(PackedContentMixin, Recommender):
     """MAML over the content preference model, decision-layer local updates."""
 
     name = "MeLU"
@@ -54,34 +54,24 @@ class MeLU(Recommender):
         self.seed = seed
         self.maml: MAML | None = None
         self._ctx: FitContext | None = None
+        self._content: PackedContent | None = None
         self.meta_loss_history: list[float] = []
 
     def fit(self, ctx: FitContext) -> "MeLU":
         self._ctx = ctx
+        self._content = None
+        self.attach_serving(ctx)
         domain = ctx.domain
         maml_rng, _ = spawn_rngs(self.seed, 2)
         model = self._build_model(domain.user_content.shape[1])
         self.maml = MAML(model, self.maml_config, seed=maml_rng)
         view_rng, _ = spawn_rngs(self.seed + 1, 2)
-        source_tasks = []
+        builder = TaskCorpusBuilder(self._packed_content())
         for t in ctx.warm_tasks:
-            source_tasks.append(t)
+            builder.add_task(t)
             if self.few_shot_views:
-                source_tasks.append(subsample_support(t, view_rng))
-        tasks = [
-            materialize_task(
-                domain.user_content,
-                domain.item_content,
-                t.user_row,
-                t.support_items,
-                t.support_labels,
-                t.query_items,
-                t.query_labels,
-            )
-            for t in source_tasks
-        ]
-        self.meta_loss_history = self.maml.fit(tasks, epochs=self.meta_epochs)
-        self.attach_serving(ctx)
+                builder.add_task(subsample_support(t, view_rng))
+        self.meta_loss_history = self.maml.fit(builder.build(), epochs=self.meta_epochs)
         return self
 
     # ------------------------------------------------------------------
@@ -100,27 +90,17 @@ class MeLU(Recommender):
             raise RuntimeError("fit() must be called before adapt_user()")
         if task is None or task.n_support == 0 or self.finetune_steps == 0:
             return None
-        serving = self.serving
-        item = materialize_task(
-            serving.user_content,
-            serving.item_content,
-            task.user_row,
-            task.support_items,
-            task.support_labels,
-            task.query_items,
-            task.query_labels,
-        )
-        return self.maml.finetune(item, steps=self.finetune_steps)
+        return self.adapt_users([task])[0]
 
     def adapt_users(self, tasks):
         """Fine-tune a whole batch of users in one vectorized inner loop."""
         if self.maml is None:
             raise RuntimeError("fit() must be called before adapt_users()")
-        serving = self.serving
+        content = self._packed_content()
         return adapt_task_states(
             self.maml,
-            serving.user_content,
-            serving.item_content,
+            content.user,
+            content.item,
             tasks,
             self.finetune_steps,
         )
@@ -133,22 +113,23 @@ class MeLU(Recommender):
     ) -> np.ndarray:
         if self.maml is None:
             raise RuntimeError("fit() must be called before scoring")
-        serving = self.serving
+        content = self._packed_content()
         params = state if state is not None else self.maml.params
         candidates = instance.candidates
-        user_content = np.repeat(
-            serving.user_content[instance.user_row][None, :], candidates.size, axis=0
-        )
+        # (1, C) user row: the model embeds the user once and broadcasts
+        # the embedding across the candidates (see _broadcast_user).
         return self.maml.predict(
-            user_content, serving.item_content[candidates], params=params
+            content.user[instance.user_row][None, :],
+            content.item[candidates],
+            params=params,
         )
 
     def score_with_state_batch(self, states, instances) -> list[np.ndarray]:
         if self.maml is None:
             raise RuntimeError("fit() must be called before scoring")
-        serving = self.serving
+        content = self._packed_content()
         return batched_candidate_scores(
-            self.maml, serving.user_content, serving.item_content, states, instances
+            self.maml, content.user, content.item, states, instances
         )
 
     def score(

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.interface import FitContext, Recommender
 from repro.data.negative_sampling import EvalInstance
 from repro.data.tasks import PreferenceTask
+from repro.meta.corpus import TaskCorpusBuilder
 from repro.nn.layers import sigmoid
 from repro.nn.losses import binary_cross_entropy
 from repro.nn.module import Grads, Params, mlp
@@ -91,7 +92,7 @@ class MetaCF(Recommender):
         user = emb[profile_items].mean(axis=0)
         ei = emb[items]
         joint = np.concatenate(
-            [np.repeat(user[None, :], items.size, axis=0), ei], axis=1
+            [np.broadcast_to(user, (items.size, user.size)), ei], axis=1
         )
         assert self._mlp is not None
         preds, c_mlp = self._mlp.forward(self._sub(params, "mlp"), joint)
@@ -107,7 +108,9 @@ class MetaCF(Recommender):
         np.add.at(
             dE,
             profile_items,
-            np.repeat(d_user[None, :] / profile_items.size, profile_items.size, axis=0),
+            np.broadcast_to(
+                d_user / profile_items.size, (profile_items.size, d_user.size)
+            ),
         )
         grads: Grads = {"E": dE}
         for k, v in g_mlp.items():
@@ -125,10 +128,12 @@ class MetaCF(Recommender):
         extra = extra[np.isfinite(scores[extra]) & (scores[extra] > 0)]
         return np.concatenate([positives, extra]).astype(int)
 
-    def _profile_of(self, task: PreferenceTask) -> np.ndarray:
-        positives = task.support_items[task.support_labels > 0.5]
+    def _profile_of(
+        self, support_items: np.ndarray, support_labels: np.ndarray
+    ) -> np.ndarray:
+        positives = support_items[support_labels > 0.5]
         if positives.size == 0:
-            positives = task.support_items[:1]
+            positives = support_items[:1]
         return self._extend_profile(positives.astype(int))
 
     def _inner_adapt(
@@ -160,34 +165,37 @@ class MetaCF(Recommender):
         self._cooc = visible.T @ visible
         np.fill_diagonal(self._cooc, 0.0)
 
-        tasks = list(ctx.warm_tasks)
+        # Tasks live in a packed corpus (index pools + float32 labels, one
+        # copy total); the per-task math reads zero-copy views out of it.
+        # MetaCF never pads, so epochs iterate in pure shuffled order.
+        builder = TaskCorpusBuilder(None)
+        for task in ctx.warm_tasks:
+            builder.add_task(task)
+        corpus = builder.build()
         assert self.params is not None
         optimizer = Adam(self.params, lr=self.outer_lr)
-        order = np.arange(len(tasks))
         for _ in range(self.meta_epochs):
-            loop_rng.shuffle(order)
             epoch_loss = 0.0
             n_batches = 0
-            for start in range(0, len(order), self.meta_batch_size):
-                batch = [tasks[i] for i in order[start : start + self.meta_batch_size]]
+            for view_ids in corpus.epoch_batches(
+                self.meta_batch_size, rng=loop_rng, bucketed=False
+            ):
                 meta_grads: Grads = {}
                 batch_loss = 0.0
-                for task in batch:
-                    profile = self._profile_of(task)
+                for view in view_ids:
+                    _, s_items, s_labels, q_items, q_labels = corpus.view_arrays(
+                        int(view)
+                    )
+                    profile = self._profile_of(s_items, s_labels)
                     fast = self._inner_adapt(
-                        profile,
-                        task.support_items,
-                        task.support_labels,
-                        self.inner_steps,
+                        profile, s_items, s_labels, self.inner_steps
                     )
-                    loss, grads = self._loss_grads(
-                        fast, profile, task.query_items, task.query_labels
-                    )
+                    loss, grads = self._loss_grads(fast, profile, q_items, q_labels)
                     batch_loss += loss
-                    add_grads(meta_grads, grads, scale=1.0 / len(batch))
+                    add_grads(meta_grads, grads, scale=1.0 / len(view_ids))
                 clip_grad_norm(meta_grads, 5.0)
                 optimizer.step(meta_grads)
-                epoch_loss += batch_loss / len(batch)
+                epoch_loss += batch_loss / len(view_ids)
                 n_batches += 1
             self.meta_loss_history.append(epoch_loss / max(n_batches, 1))
         self.attach_serving(ctx)
@@ -200,7 +208,7 @@ class MetaCF(Recommender):
             raise RuntimeError("fit() must be called before adapt_user()")
         if task is None or task.n_support == 0:
             return None
-        profile = self._profile_of(task)
+        profile = self._profile_of(task.support_items, task.support_labels)
         params = self._inner_adapt(
             profile, task.support_items, task.support_labels, self.finetune_steps
         )
@@ -223,7 +231,7 @@ class MetaCF(Recommender):
         emb = params["E"]
         user = emb[profile].mean(axis=0)
         joint = np.concatenate(
-            [np.repeat(user[None, :], candidates.size, axis=0), emb[candidates]],
+            [np.broadcast_to(user, (candidates.size, user.size)), emb[candidates]],
             axis=1,
         )
         preds = self._mlp(self._sub(params, "mlp"), joint)

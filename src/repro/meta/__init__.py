@@ -8,6 +8,13 @@ cold-start evaluation fine-tunes the meta-initialization on a task's support
 set and scores its query items.
 """
 
+from repro.meta.corpus import (
+    PackedContent,
+    PackedContentMixin,
+    TaskCorpus,
+    TaskCorpusBuilder,
+    pack_content,
+)
 from repro.meta.model import PreferenceModel, PreferenceModelConfig
 from repro.meta.maml import MAML, MAMLConfig
 from repro.meta.trainer import MetaDPA, MetaDPAConfig
@@ -19,4 +26,9 @@ __all__ = [
     "MAMLConfig",
     "MetaDPA",
     "MetaDPAConfig",
+    "PackedContent",
+    "PackedContentMixin",
+    "TaskCorpus",
+    "TaskCorpusBuilder",
+    "pack_content",
 ]

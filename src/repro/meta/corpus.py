@@ -1,0 +1,507 @@
+"""Packed task corpus: the index-based data path of meta-training.
+
+The meta-training set of MetaDPA is hugely redundant when materialized: the
+k augmented views of Eqs. (9)-(10) repeat their parent task's support/query
+*content* byte for byte and differ only in labels, and every task tiles one
+user-content row across all of its item rows.  :class:`TaskCorpus` stores
+the whole corpus **once**, as contiguous int32 item-index pools in
+offset-indexed ragged layout plus one float32 label row per view:
+
+.. code-block:: text
+
+    base tasks (B)                      views (V >= B)
+    ------------------------------      -------------------------------
+    user_rows        int32 (B,)         view_base            int32 (V,)
+    support_items    int32 (sum S_b,)   support_labels     float32 (sum S_v,)
+    support_offsets  int64 (B+1,)       support_label_offsets int64 (V+1,)
+    query_items      int32 (sum Q_b,)   query_labels       float32 (sum Q_v,)
+    query_offsets    int64 (B+1,)       query_label_offsets   int64 (V+1,)
+
+A *view* is (base task, label rows): the original task is its own first
+view, and augmented views share the parent's index arrays by construction —
+adding one costs two label rows, never an index copy.  Content lives in one
+float32 :class:`PackedContent` pair shared by the whole corpus (and by the
+serving paths), so no ``(T, S, C)`` dense content exists outside a
+meta-step: batches are built by fancy-indexing the pools into reused
+scratch buffers and content rows are gathered inside the model forward.
+
+Epoch iteration (:meth:`TaskCorpus.epoch_batches`) shuffles the views, then
+stable-sorts them into geometric ``(support, query)`` width buckets so each
+meta-batch pads to near-uniform width (waste bounded by the bucket ratio,
+< 2x) while staying randomized within a bucket.  The materialized
+:class:`~repro.meta.maml.TaskBatchItem` reference path consumes the *same*
+schedule through :meth:`materialize`, which is what lets the equivalence
+suite pin ``packed == materialized`` per batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.tasks import PreferenceTask
+
+_INDEX_DTYPE = np.int32
+_OFFSET_DTYPE = np.int64
+_LABEL_DTYPE = np.float32
+
+
+@dataclass(frozen=True)
+class PackedContent:
+    """Cast-once float32 content matrices shared by corpus and serving."""
+
+    user: np.ndarray  # (n_users, C) float32, C-contiguous
+    item: np.ndarray  # (n_items, C) float32, C-contiguous
+
+    @property
+    def dim(self) -> int:
+        return self.user.shape[1]
+
+
+def pack_content(
+    user_content: np.ndarray,
+    item_content: np.ndarray,
+    dtype: np.dtype | type = np.float32,
+) -> PackedContent:
+    """Build a :class:`PackedContent`, reusing arrays already in shape.
+
+    Arrays that are already C-contiguous in the target dtype are shared by
+    reference, so repeated calls on the same serving content cost nothing.
+    """
+    dt = np.dtype(dtype)
+
+    def coerce(a: np.ndarray) -> np.ndarray:
+        a = np.asarray(a)
+        if a.dtype == dt and a.flags.c_contiguous:
+            return a
+        return np.ascontiguousarray(a, dtype=dt)
+
+    return PackedContent(user=coerce(user_content), item=coerce(item_content))
+
+
+class PackedContentMixin:
+    """Recommender mixin: cast-once float32 serving content, built lazily.
+
+    Expects the host class to expose ``self.serving`` (the
+    :class:`~repro.core.interface.Recommender` contract) and to reset
+    ``self._content = None`` whenever the serving context changes (fit).
+    """
+
+    _content: PackedContent | None = None
+
+    def _packed_content(self) -> PackedContent:
+        if self._content is None:
+            serving = self.serving  # type: ignore[attr-defined]
+            self._content = pack_content(
+                serving.user_content, serving.item_content
+            )
+        return self._content
+
+
+class BatchScratch:
+    """Reusable flat buffers backing per-batch arrays.
+
+    One scratch instance serves one consumer at a time (a MAML instance):
+    each logical name maps to a single geometrically-grown 1-D buffer whose
+    prefix is reshaped to the requested shape, so bucketed batches of
+    varying width never re-allocate once the largest bucket has been seen.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        dt = np.dtype(dtype)
+        n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        buf = self._buffers.get(name)
+        if buf is None or buf.dtype != dt or buf.size < n:
+            buf = np.empty(max(n, 1), dtype=dt)
+            self._buffers[name] = buf
+        return buf[:n].reshape(shape)
+
+
+@dataclass(frozen=True)
+class IndexedTaskBatch:
+    """One meta-batch as padded index/label arrays (no content rows).
+
+    ``support_items``/``query_items`` hold item indices (padded positions
+    repeat a valid index and are masked out of every loss), ``user_rows``
+    one content row per task — the model gathers/broadcasts actual content
+    rows at forward time.
+    """
+
+    user_rows: np.ndarray  # (T,) int32
+    support_items: np.ndarray  # (T, S) int32
+    support_labels: np.ndarray  # (T, S) float32
+    support_mask: np.ndarray  # (T, S) float32
+    query_items: np.ndarray | None = None  # (T, Q) int32
+    query_labels: np.ndarray | None = None  # (T, Q) float32
+    query_mask: np.ndarray | None = None  # (T, Q) float32
+
+    def __len__(self) -> int:
+        return self.user_rows.shape[0]
+
+
+def _widths_to_buckets(widths: np.ndarray) -> np.ndarray:
+    """Geometric width classes (bit length), bounding padding waste < 2x."""
+    return np.frexp(np.maximum(widths, 0))[1]
+
+
+class TaskCorpus:
+    """All meta-training tasks packed once; built by :class:`TaskCorpusBuilder`."""
+
+    def __init__(
+        self,
+        content: PackedContent | None,
+        user_rows: np.ndarray,
+        support_items: np.ndarray,
+        support_offsets: np.ndarray,
+        query_items: np.ndarray,
+        query_offsets: np.ndarray,
+        view_base: np.ndarray,
+        support_labels: np.ndarray,
+        support_label_offsets: np.ndarray,
+        query_labels: np.ndarray,
+        query_label_offsets: np.ndarray,
+    ):
+        self.content = content
+        self.user_rows = user_rows
+        self.support_items = support_items
+        self.support_offsets = support_offsets
+        self.query_items = query_items
+        self.query_offsets = query_offsets
+        self.view_base = view_base
+        self.support_labels = support_labels
+        self.support_label_offsets = support_label_offsets
+        self.query_labels = query_labels
+        self.query_label_offsets = query_label_offsets
+        self.support_lens = np.diff(support_offsets)
+        self.query_lens = np.diff(query_offsets)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        """Number of *base* tasks (index-array owners)."""
+        return self.user_rows.shape[0]
+
+    @property
+    def n_views(self) -> int:
+        """Number of trainable views (base tasks + label-only views)."""
+        return self.view_base.shape[0]
+
+    def __len__(self) -> int:
+        return self.n_views
+
+    @property
+    def index_nbytes(self) -> int:
+        """Bytes of index storage (shared across all views of a base task)."""
+        return (
+            self.support_items.nbytes
+            + self.query_items.nbytes
+            + self.support_offsets.nbytes
+            + self.query_offsets.nbytes
+            + self.user_rows.nbytes
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Total packed corpus bytes (indices + labels + offsets)."""
+        return (
+            self.index_nbytes
+            + self.support_labels.nbytes
+            + self.query_labels.nbytes
+            + self.support_label_offsets.nbytes
+            + self.query_label_offsets.nbytes
+            + self.view_base.nbytes
+        )
+
+    def materialized_nbytes(self) -> int:
+        """Bytes the dense :class:`TaskBatchItem` layout needs for this corpus.
+
+        Counts, per view, the user/item content rows and label rows of the
+        materialized representation at the corpus dtypes — the memory the
+        pre-corpus ``_build_meta_tasks`` path allocated (user content per
+        row, item content per row, labels).
+        """
+        if self.content is None:
+            raise ValueError("corpus has no content attached")
+        rows = (self.support_lens + self.query_lens)[self.view_base].sum()
+        itemsize = self.content.user.dtype.itemsize
+        per_row = 2 * self.content.dim * itemsize  # user row + item row
+        return int(rows) * per_row + int(rows) * self.support_labels.dtype.itemsize
+
+    # ------------------------------------------------------------------
+    def view_arrays(
+        self, view: int
+    ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy ``(user_row, s_items, s_labels, q_items, q_labels)`` views."""
+        base = int(self.view_base[view])
+        s0, s1 = self.support_offsets[base], self.support_offsets[base + 1]
+        q0, q1 = self.query_offsets[base], self.query_offsets[base + 1]
+        ls0, ls1 = self.support_label_offsets[view], self.support_label_offsets[view + 1]
+        lq0, lq1 = self.query_label_offsets[view], self.query_label_offsets[view + 1]
+        return (
+            int(self.user_rows[base]),
+            self.support_items[s0:s1],
+            self.support_labels[ls0:ls1],
+            self.query_items[q0:q1],
+            self.query_labels[lq0:lq1],
+        )
+
+    def view_support_lens(self, view_ids: np.ndarray | None = None) -> np.ndarray:
+        ids = np.arange(self.n_views) if view_ids is None else np.asarray(view_ids)
+        return self.support_lens[self.view_base[ids]]
+
+    # ------------------------------------------------------------------
+    def epoch_batches(
+        self,
+        batch_size: int,
+        rng: np.random.Generator | None = None,
+        shuffle: bool = True,
+        bucketed: bool = True,
+    ) -> Iterator[np.ndarray]:
+        """Yield meta-batches of view ids for one epoch.
+
+        Views are shuffled (one ``rng.shuffle`` draw, so packed and
+        materialized runs seeded alike see identical schedules), then
+        stable-sorted into geometric ``(support, query)`` width buckets;
+        consecutive slices of ``batch_size`` become the meta-batches.
+        ``bucketed=False`` skips the width sort (pure shuffled order, for
+        consumers that never pad).
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        order = np.arange(self.n_views)
+        if shuffle and rng is not None:
+            rng.shuffle(order)
+        if bucketed:
+            base = self.view_base[order]
+            s_bits = _widths_to_buckets(self.support_lens[base])
+            q_bits = _widths_to_buckets(self.query_lens[base])
+            key = s_bits * (q_bits.max(initial=0) + 1) + q_bits
+            order = order[np.argsort(key, kind="stable")]
+        for start in range(0, order.size, batch_size):
+            yield order[start : start + batch_size]
+
+    # ------------------------------------------------------------------
+    def _gather_ragged(
+        self,
+        pool: np.ndarray,
+        offsets: np.ndarray,
+        lens: np.ndarray,
+        rows: np.ndarray,
+        width: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Fill ``out (T, width)`` from a ragged pool; returns the row mask."""
+        ar = np.arange(width)
+        mask = ar[None, :] < lens[rows][:, None]
+        # Padded positions read pool[0] (a valid entry, masked everywhere).
+        pos = np.where(mask, offsets[rows][:, None] + ar[None, :], 0)
+        if pool.size == 0:
+            out[...] = 0
+        else:
+            np.take(pool, pos, out=out)
+        return mask
+
+    def gather_batch(
+        self,
+        view_ids: np.ndarray,
+        scratch: BatchScratch | None = None,
+        support_only: bool = False,
+    ) -> IndexedTaskBatch:
+        """Pack ``view_ids`` into padded index/label arrays in O(1) numpy ops.
+
+        All arrays come from ``scratch`` when given (reused across batches);
+        each batch pads to its own max width, so bucketed schedules keep the
+        padded area within a small factor of the real row count.
+        """
+        scratch = scratch or BatchScratch()
+        ids = np.asarray(view_ids)
+        base = self.view_base[ids]
+        n = ids.size
+
+        def gather_side(
+            prefix: str,
+            pool: np.ndarray,
+            offsets: np.ndarray,
+            lens: np.ndarray,
+            labels: np.ndarray,
+            label_offsets: np.ndarray,
+        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+            width = int(lens[base].max(initial=0))
+            width = max(width, 1)
+            items = scratch.get(f"{prefix}_items", (n, width), _INDEX_DTYPE)
+            mask_bool = self._gather_ragged(pool, offsets, lens, base, width, items)
+            labs = scratch.get(f"{prefix}_labels", (n, width), labels.dtype)
+            ar = np.arange(width)
+            lpos = np.where(mask_bool, label_offsets[ids][:, None] + ar[None, :], 0)
+            if labels.size == 0:
+                labs[...] = 0
+            else:
+                np.take(labels, lpos, out=labs)
+            mask = scratch.get(f"{prefix}_mask", (n, width), labels.dtype)
+            mask[...] = mask_bool
+            labs *= mask  # padded labels at exactly 0, like the dense layout
+            return items, labs, mask
+
+        s_items, s_labels, s_mask = gather_side(
+            "support",
+            self.support_items,
+            self.support_offsets,
+            self.support_lens,
+            self.support_labels,
+            self.support_label_offsets,
+        )
+        if support_only:
+            return IndexedTaskBatch(
+                user_rows=self.user_rows[base],
+                support_items=s_items,
+                support_labels=s_labels,
+                support_mask=s_mask,
+            )
+        q_items, q_labels, q_mask = gather_side(
+            "query",
+            self.query_items,
+            self.query_offsets,
+            self.query_lens,
+            self.query_labels,
+            self.query_label_offsets,
+        )
+        return IndexedTaskBatch(
+            user_rows=self.user_rows[base],
+            support_items=s_items,
+            support_labels=s_labels,
+            support_mask=s_mask,
+            query_items=q_items,
+            query_labels=q_labels,
+            query_mask=q_mask,
+        )
+
+    # ------------------------------------------------------------------
+    def materialize(self, view_ids: Sequence[int] | np.ndarray | None = None):
+        """Dense :class:`~repro.meta.maml.TaskBatchItem` list for ``view_ids``.
+
+        The reference data path (``MAMLConfig.packed=False``) and the
+        equivalence tests consume the corpus through this, so both paths
+        see the same float32 content and the same schedules.  User content
+        rows are broadcast views, not copies.
+        """
+        from repro.meta.maml import TaskBatchItem
+
+        if self.content is None:
+            raise ValueError("corpus has no content attached")
+        ids = range(self.n_views) if view_ids is None else view_ids
+        user, item = self.content.user, self.content.item
+        dim = self.content.dim
+        items = []
+        for view in ids:
+            row, s_items, s_labels, q_items, q_labels = self.view_arrays(int(view))
+            cu = user[row]
+            items.append(
+                TaskBatchItem(
+                    support_user=np.broadcast_to(cu, (s_items.size, dim)),
+                    support_item=item[s_items],
+                    support_labels=s_labels,
+                    query_user=np.broadcast_to(cu, (q_items.size, dim)),
+                    query_item=item[q_items],
+                    query_labels=q_labels,
+                )
+            )
+        return items
+
+
+class TaskCorpusBuilder:
+    """Accumulates tasks and label-only views, then packs them once.
+
+    ``add_task`` registers a base task (its index arrays plus its original
+    labels as the first view); ``add_label_view`` attaches an augmented view
+    to an existing base, storing only the label rows.
+    """
+
+    def __init__(self, content: PackedContent | None):
+        self.content = content
+        self._user_rows: list[int] = []
+        self._support_items: list[np.ndarray] = []
+        self._query_items: list[np.ndarray] = []
+        self._view_base: list[int] = []
+        self._support_labels: list[np.ndarray] = []
+        self._query_labels: list[np.ndarray] = []
+
+    def add_task(self, task: PreferenceTask) -> int:
+        """Register a base task; returns its base id."""
+        base = len(self._user_rows)
+        self._user_rows.append(int(task.user_row))
+        self._support_items.append(np.asarray(task.support_items, dtype=_INDEX_DTYPE))
+        self._query_items.append(np.asarray(task.query_items, dtype=_INDEX_DTYPE))
+        self._view_base.append(base)
+        self._support_labels.append(np.asarray(task.support_labels, dtype=_LABEL_DTYPE))
+        self._query_labels.append(np.asarray(task.query_labels, dtype=_LABEL_DTYPE))
+        return base
+
+    def add_label_view(
+        self, base: int, support_labels: np.ndarray, query_labels: np.ndarray
+    ) -> int:
+        """Attach a label-only (augmented) view to base task ``base``."""
+        if not 0 <= base < len(self._user_rows):
+            raise ValueError(f"unknown base task {base}")
+        support_labels = np.asarray(support_labels, dtype=_LABEL_DTYPE)
+        query_labels = np.asarray(query_labels, dtype=_LABEL_DTYPE)
+        if support_labels.shape != self._support_items[base].shape:
+            raise ValueError("support labels must match the base task's width")
+        if query_labels.shape != self._query_items[base].shape:
+            raise ValueError("query labels must match the base task's width")
+        view = len(self._view_base)
+        self._view_base.append(base)
+        self._support_labels.append(support_labels)
+        self._query_labels.append(query_labels)
+        return view
+
+    def add_rating_view(self, base: int, rating_vector: np.ndarray) -> int:
+        """Augmented view of Eqs. (9)-(10): labels read from a rating vector."""
+        s_items = self._support_items[base]
+        q_items = self._query_items[base]
+        vector = np.asarray(rating_vector)
+        return self.add_label_view(base, vector[s_items], vector[q_items])
+
+    def __len__(self) -> int:
+        return len(self._view_base)
+
+    @staticmethod
+    def _pack(
+        arrays: list[np.ndarray], dtype: np.dtype
+    ) -> tuple[np.ndarray, np.ndarray]:
+        lens = np.fromiter((a.size for a in arrays), dtype=_OFFSET_DTYPE, count=len(arrays))
+        offsets = np.zeros(len(arrays) + 1, dtype=_OFFSET_DTYPE)
+        np.cumsum(lens, out=offsets[1:])
+        pool = (
+            np.concatenate(arrays).astype(dtype, copy=False)
+            if arrays
+            else np.empty(0, dtype=dtype)
+        )
+        return pool, offsets
+
+    def build(self) -> TaskCorpus:
+        if not self._view_base:
+            raise ValueError("empty corpus")
+        support_items, support_offsets = self._pack(self._support_items, _INDEX_DTYPE)
+        query_items, query_offsets = self._pack(self._query_items, _INDEX_DTYPE)
+        support_labels, support_label_offsets = self._pack(
+            self._support_labels, _LABEL_DTYPE
+        )
+        query_labels, query_label_offsets = self._pack(self._query_labels, _LABEL_DTYPE)
+        return TaskCorpus(
+            content=self.content,
+            user_rows=np.asarray(self._user_rows, dtype=_INDEX_DTYPE),
+            support_items=support_items,
+            support_offsets=support_offsets,
+            query_items=query_items,
+            query_offsets=query_offsets,
+            view_base=np.asarray(self._view_base, dtype=_INDEX_DTYPE),
+            support_labels=support_labels,
+            support_label_offsets=support_label_offsets,
+            query_labels=query_labels,
+            query_label_offsets=query_label_offsets,
+        )

@@ -15,6 +15,17 @@ and meta-testing many cold-start users at once (:meth:`MAML.adapt_many`)
 cost one numpy pass per inner step instead of one per task.  The scalar
 per-task path (:meth:`MAML.adapt` with ``config.vectorize=False``) is kept
 as the reference implementation the equivalence tests check against.
+
+The *data* path is packed on top of that: handed a
+:class:`~repro.meta.corpus.TaskCorpus`, :meth:`MAML.fit` iterates bucketed
+epoch batches of view ids and each meta-step fancy-indexes the packed
+index/label pools into reused scratch buffers, gathering content rows only
+inside the step (:meth:`MAML.meta_step_corpus`) — no dense ``(T, S, C)``
+content outlives a step and the per-batch Python padding loops of
+:meth:`TaskBatch.from_items` disappear from training entirely.
+``MAMLConfig.packed=False`` keeps the materialized :class:`TaskBatchItem`
+reference data path (same schedules, same float32 content) that the
+equivalence suite pins the packed path against.
 """
 
 from __future__ import annotations
@@ -24,10 +35,16 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.meta.corpus import (
+    BatchScratch,
+    TaskCorpus,
+    TaskCorpusBuilder,
+    pack_content,
+)
 from repro.meta.model import PreferenceModel
 from repro.nn.module import Grads, Params
 from repro.nn.optim import Adam, add_grads, clip_grad_norm, mean_task_grads
-from repro.nn.stacking import stack_params, tile_params, unstack_params
+from repro.nn.stacking import pad_axis, stack_params, tile_params, unstack_params
 from repro.utils.rng import ensure_rng
 
 
@@ -38,7 +55,11 @@ class MAMLConfig:
     ``inner_lr`` is α of Eq. (1); ``local_only_decision`` restricts the
     inner-loop update to the MLP decision layers (MeLU's scheme);
     ``vectorize=False`` falls back to the scalar one-task-at-a-time loops
-    (the reference implementation — slower, numerically equivalent).
+    (the reference implementation — slower, numerically equivalent);
+    ``packed=False`` falls back to the materialized :class:`TaskBatchItem`
+    data path when training from a :class:`~repro.meta.corpus.TaskCorpus`
+    (same schedules, dense content copies — the reference the packed
+    fancy-indexing path is pinned against).
     """
 
     inner_lr: float = 0.05
@@ -48,6 +69,7 @@ class MAMLConfig:
     grad_clip: float = 5.0
     local_only_decision: bool = False
     vectorize: bool = True
+    packed: bool = True
 
     def __post_init__(self) -> None:
         if self.inner_lr <= 0 or self.outer_lr <= 0:
@@ -69,13 +91,12 @@ class TaskBatchItem:
 
 
 def _pad_rows(arrays: Sequence[np.ndarray], width: int) -> np.ndarray:
-    """Stack variable-length arrays into ``(T, width, ...)`` with zero padding."""
-    first = np.asarray(arrays[0])
-    out = np.zeros((len(arrays), width) + first.shape[1:], dtype=float)
-    for t, array in enumerate(arrays):
-        array = np.asarray(array, dtype=float)
-        out[t, : array.shape[0]] = array
-    return out
+    """Stack variable-length arrays into ``(T, width, ...)`` with zero padding.
+
+    Dtype-preserving (a float32 corpus stays float32 through padding); each
+    row is zero-padded with :func:`~repro.nn.stacking.pad_axis`.
+    """
+    return np.stack([pad_axis(np.asarray(a), 0, width) for a in arrays])
 
 
 @dataclass(frozen=True)
@@ -106,19 +127,21 @@ class TaskBatch:
             raise ValueError("empty task batch")
         s_width = max(max(i.support_labels.size for i in items), 1)
         q_width = max(max(i.query_labels.size for i in items), 1)
-        s_mask = np.zeros((len(items), s_width))
-        q_mask = np.zeros((len(items), q_width))
+        support_labels = _pad_rows([i.support_labels for i in items], s_width)
+        query_labels = _pad_rows([i.query_labels for i in items], q_width)
+        s_mask = np.zeros((len(items), s_width), dtype=support_labels.dtype)
+        q_mask = np.zeros((len(items), q_width), dtype=query_labels.dtype)
         for t, item in enumerate(items):
             s_mask[t, : item.support_labels.size] = 1.0
             q_mask[t, : item.query_labels.size] = 1.0
         return cls(
             support_user=_pad_rows([i.support_user for i in items], s_width),
             support_item=_pad_rows([i.support_item for i in items], s_width),
-            support_labels=_pad_rows([i.support_labels for i in items], s_width),
+            support_labels=support_labels,
             support_mask=s_mask,
             query_user=_pad_rows([i.query_user for i in items], q_width),
             query_item=_pad_rows([i.query_item for i in items], q_width),
-            query_labels=_pad_rows([i.query_labels for i in items], q_width),
+            query_labels=query_labels,
             query_mask=q_mask,
         )
 
@@ -137,6 +160,7 @@ class MAML:
         self._rng = ensure_rng(seed)
         self.params: Params = model.init_params(self._rng)
         self._optimizer = Adam(self.params, lr=self.config.outer_lr)
+        self._scratch = BatchScratch()
         self._adaptable: set[str] | None = None
         if self.config.local_only_decision:
             self._adaptable = set(model.decision_params(self.params))
@@ -207,20 +231,44 @@ class MAML:
         pass over all ``T`` tasks; padding rows are masked out of every
         gradient, so the result matches running :meth:`adapt` per task.
         """
+        return self._adapt_stacked(
+            batch.support_user,
+            batch.support_item,
+            batch.support_labels,
+            batch.support_mask,
+            len(batch),
+            params=params,
+            steps=steps,
+        )
+
+    def _adapt_stacked(
+        self,
+        support_user: np.ndarray,
+        support_item: np.ndarray,
+        support_labels: np.ndarray,
+        support_mask: np.ndarray,
+        n_tasks: int,
+        params: Params | None = None,
+        steps: int | None = None,
+    ) -> Params:
+        """The vectorized inner loop over prepared ``[T, ...]`` arrays.
+
+        Shared by the materialized (:class:`TaskBatch`) and packed-corpus
+        data paths; ``support_user`` may be the broadcast-user form
+        ``(T, 1, C)`` (see :class:`~repro.meta.model.PreferenceModel`).
+        """
         base = params if params is not None else self.params
         adaptable = self._adaptable_keys & set(base)
-        fast = tile_params(base, len(batch), keys=adaptable)
+        fast = tile_params(base, n_tasks, keys=adaptable)
         n_steps = self.config.inner_steps if steps is None else steps
         if self._decision_only:
             # Frozen embeddings: embed every task's support set once (the
             # embedding weights are shared and never change inside the inner
             # loop), then iterate only the stacked MLP head.
-            joint = self.model.embed_joint(
-                fast, batch.support_user, batch.support_item
-            )
+            joint = self.model.embed_joint(fast, support_user, support_item)
             for _ in range(n_steps):
                 _, grads = self.model.decision_loss_and_grads(
-                    fast, joint, batch.support_labels, mask=batch.support_mask
+                    fast, joint, support_labels, mask=support_mask
                 )
                 for name in adaptable:
                     grad = grads[name]
@@ -230,10 +278,10 @@ class MAML:
         for _ in range(n_steps):
             _, grads = self.model.loss_and_grads(
                 fast,
-                batch.support_user,
-                batch.support_item,
-                batch.support_labels,
-                mask=batch.support_mask,
+                support_user,
+                support_item,
+                support_labels,
+                mask=support_mask,
             )
             for name in adaptable:
                 grad = grads[name]
@@ -311,6 +359,47 @@ class MAML:
         self._optimizer.step(meta_grads)
         return float(np.mean(losses))
 
+    def meta_step_corpus(self, corpus: TaskCorpus, view_ids: np.ndarray) -> float:
+        """One outer-loop update straight from the packed corpus.
+
+        The batch is assembled by fancy-indexing the corpus pools into
+        reused scratch buffers (no per-task Python work), content rows are
+        gathered once per side, and the user row rides the batch as a
+        ``(T, 1, C)`` broadcast input — the only dense ``(T, S, C)`` array
+        is the item-content gather, which lives in scratch and dies with
+        the step.
+        """
+        content = corpus.content
+        if content is None:
+            raise ValueError("corpus has no content attached")
+        batch = corpus.gather_batch(view_ids, scratch=self._scratch)
+        cu, fast = self._adapt_gathered(content, batch)
+        ci_q = self._scratch.get(
+            "ci_query", batch.query_items.shape + (content.dim,), content.item.dtype
+        )
+        np.take(content.item, batch.query_items, axis=0, out=ci_q)
+        losses, grads = self.model.loss_and_grads(
+            fast, cu, ci_q, batch.query_labels, mask=batch.query_mask
+        )
+        meta_grads = mean_task_grads(grads)
+        clip_grad_norm(meta_grads, self.config.grad_clip)
+        self._optimizer.step(meta_grads)
+        return float(np.mean(losses))
+
+    def _adapt_gathered(self, content, batch, steps: int | None = None):
+        """Support-side content gather + vectorized inner loop for a packed
+        batch; returns ``(cu, fast)`` (the ``(T, 1, C)`` user rows are
+        reused by the caller's query pass)."""
+        cu = content.user[batch.user_rows][:, None, :]
+        ci = self._scratch.get(
+            "ci_support", batch.support_items.shape + (content.dim,), content.item.dtype
+        )
+        np.take(content.item, batch.support_items, axis=0, out=ci)
+        fast = self._adapt_stacked(
+            cu, ci, batch.support_labels, batch.support_mask, len(batch), steps=steps
+        )
+        return cu, fast
+
     def _meta_step_loop(self, batch: Sequence[TaskBatchItem]) -> float:
         """Scalar reference implementation of :meth:`meta_step`."""
         meta_grads: Grads = {}
@@ -328,13 +417,23 @@ class MAML:
 
     def fit(
         self,
-        tasks: Sequence[TaskBatchItem],
+        tasks: TaskCorpus | Sequence[TaskBatchItem],
         epochs: int,
         shuffle: bool = True,
     ) -> list[float]:
-        """Meta-train for ``epochs`` passes over ``tasks``; returns loss trace."""
+        """Meta-train for ``epochs`` passes over ``tasks``; returns loss trace.
+
+        ``tasks`` is either a packed :class:`~repro.meta.corpus.TaskCorpus`
+        (the fast path: bucketed epoch batching, index-based meta-steps) or
+        a dense :class:`TaskBatchItem` sequence.  With a corpus,
+        ``config.packed=False`` materializes each batch through the same
+        schedule instead — only the data path changes, so the two traces
+        agree to float rounding.
+        """
         if epochs <= 0:
             raise ValueError("epochs must be positive")
+        if isinstance(tasks, TaskCorpus):
+            return self._fit_corpus(tasks, epochs, shuffle)
         history: list[float] = []
         order = np.arange(len(tasks))
         for _ in range(epochs):
@@ -349,6 +448,70 @@ class MAML:
                 n_batches += 1
             history.append(epoch_loss / max(n_batches, 1))
         return history
+
+    def _fit_corpus(
+        self, corpus: TaskCorpus, epochs: int, shuffle: bool
+    ) -> list[float]:
+        history: list[float] = []
+        bs = self.config.meta_batch_size
+        # The packed data path rides the vectorized inner loop; either
+        # reference flag (packed=False data path, vectorize=False scalar
+        # math — meta_step dispatches the latter) materializes instead.
+        use_packed = self.config.packed and self.config.vectorize
+        for _ in range(epochs):
+            epoch_loss = 0.0
+            n_batches = 0
+            for view_ids in corpus.epoch_batches(bs, rng=self._rng, shuffle=shuffle):
+                if use_packed:
+                    epoch_loss += self.meta_step_corpus(corpus, view_ids)
+                else:
+                    epoch_loss += self.meta_step(corpus.materialize(view_ids))
+                n_batches += 1
+            history.append(epoch_loss / max(n_batches, 1))
+        return history
+
+    def adapt_corpus(
+        self,
+        corpus: TaskCorpus,
+        steps: int | None = None,
+        max_chunk: int = 64,
+    ) -> list[Params]:
+        """Adapt every view of ``corpus`` independently; packed counterpart
+        of :meth:`adapt_many`.
+
+        Views are bucketed by support size and fine-tuned in padded chunks
+        of ``max_chunk``; each chunk is one fancy-indexed gather plus one
+        vectorized inner loop.  Returns one owning fast-weight dict per
+        view (shared non-adapted weights stay shared).
+        """
+        if max_chunk <= 0:
+            raise ValueError("max_chunk must be positive")
+        if not (self.config.vectorize and self.config.packed):
+            return self.adapt_many(
+                corpus.materialize(), steps=steps, max_chunk=max_chunk
+            )
+        content = corpus.content
+        if content is None:
+            raise ValueError("corpus has no content attached")
+        order = np.argsort(corpus.view_support_lens(), kind="stable")
+        results: list[Params | None] = [None] * corpus.n_views
+        for start in range(0, order.size, max_chunk):
+            chunk = order[start : start + max_chunk]
+            batch = corpus.gather_batch(
+                chunk, scratch=self._scratch, support_only=True
+            )
+            _, fast = self._adapt_gathered(content, batch, steps=steps)
+            # copy=True: the per-view dicts may be cached long past this
+            # chunk (serving LRU) and must not pin the stacked block alive.
+            parts = unstack_params(
+                fast,
+                len(batch),
+                stacked_keys=self._adaptable_keys & set(fast),
+                copy=True,
+            )
+            for i, part in zip(chunk, parts):
+                results[int(i)] = part
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     def finetune(self, item: TaskBatchItem, steps: int | None = None) -> Params:
@@ -386,6 +549,11 @@ def batched_candidate_scores(
     the whole flush costs one batched pass instead of one forward per
     user.  This is the vectorized backend of ``score_with_state_batch``
     for MAML-based methods.
+
+    The data path is index-based: per group only int index arrays (user
+    row per candidate row, candidate item ids) are concatenated/padded and
+    the content rows are gathered in one fancy-indexing pass per forward —
+    no per-instance content copies.
     """
     if len(states) != len(instances):
         raise ValueError("states and instances must align")
@@ -395,22 +563,11 @@ def batched_candidate_scores(
         groups.setdefault(id(params), []).append(idx)
     results: list[np.ndarray | None] = [None] * len(instances)
 
-    def group_contents(indices: list[int]) -> tuple[np.ndarray, np.ndarray, list[int]]:
+    def group_indices(indices: list[int]) -> tuple[np.ndarray, np.ndarray, list[int]]:
         sizes = [instances[i].candidates.size for i in indices]
-        users = np.concatenate(
-            [
-                np.repeat(
-                    user_content[instances[i].user_row][None, :],
-                    instances[i].candidates.size,
-                    axis=0,
-                )
-                for i in indices
-            ]
-        )
-        items = np.concatenate(
-            [item_content[instances[i].candidates] for i in indices]
-        )
-        return users, items, sizes
+        rows = np.repeat([instances[i].user_row for i in indices], sizes)
+        cols = np.concatenate([instances[i].candidates for i in indices])
+        return rows, cols, sizes
 
     def scatter(indices: list[int], sizes: list[int], preds: np.ndarray) -> None:
         offset = 0
@@ -419,8 +576,11 @@ def batched_candidate_scores(
             offset += size
 
     def score_solo(indices: list[int]) -> None:
-        users, items, sizes = group_contents(indices)
-        scatter(indices, sizes, maml.predict(users, items, params=resolved[indices[0]]))
+        rows, cols, sizes = group_indices(indices)
+        preds = maml.predict(
+            user_content[rows], item_content[cols], params=resolved[indices[0]]
+        )
+        scatter(indices, sizes, preds)
 
     group_list = list(groups.values())
     if len(group_list) == 1:
@@ -445,18 +605,19 @@ def batched_candidate_scores(
     if len(stackable) == 1:
         score_solo(stackable[0])
         return results  # type: ignore[return-value]
-    contents = [group_contents(indices) for indices in stackable]
-    width = max(users.shape[0] for users, _, _ in contents)
-    n_features = user_content.shape[1]
-    users_pad = np.zeros((len(stackable), width, n_features))
-    items_pad = np.zeros((len(stackable), width, n_features))
-    for g, (users, items, _) in enumerate(contents):
-        users_pad[g, : users.shape[0]] = users
-        items_pad[g, : items.shape[0]] = items
+    gathered = [group_indices(indices) for indices in stackable]
+    width = max(rows.size for rows, _, _ in gathered)
+    # Padded positions point at row/item 0 — valid content, masked out by
+    # the scatter reading only each group's real span.
+    row_idx = np.zeros((len(stackable), width), dtype=np.int64)
+    col_idx = np.zeros((len(stackable), width), dtype=np.int64)
+    for g, (rows, cols, _) in enumerate(gathered):
+        row_idx[g, : rows.size] = rows
+        col_idx[g, : cols.size] = cols
     stacked = stack_params([resolved[indices[0]] for indices in stackable])
-    preds = maml.predict(users_pad, items_pad, params=stacked)
+    preds = maml.predict(user_content[row_idx], item_content[col_idx], params=stacked)
     for g, indices in enumerate(stackable):
-        scatter(indices, contents[g][2], preds[g])
+        scatter(indices, gathered[g][2], preds[g])
     return results  # type: ignore[return-value]
 
 
@@ -471,40 +632,52 @@ def adapt_task_states(
 
     The shared ``adapt_users`` backend of MAML-based recommenders: unique
     tasks (by object identity — evaluation aligns many instances to one
-    task object) are materialized and fine-tuned together through
-    :meth:`MAML.adapt_many`; positions whose task is ``None``/empty (or
-    when ``steps == 0``) stay ``None``, meaning "serve from the
-    meta-initialization".  Instances sharing a task share the *same*
-    returned dict, which downstream scoring coalesces by identity.
+    task object) are packed into a transient :class:`TaskCorpus` and
+    fine-tuned together through :meth:`MAML.adapt_corpus` (or materialized
+    through :meth:`MAML.adapt_many` when ``config.packed=False``);
+    positions whose task is ``None``/empty (or when ``steps == 0``) stay
+    ``None``, meaning "serve from the meta-initialization".  Instances
+    sharing a task share the *same* returned dict, which downstream
+    scoring coalesces by identity.
     """
     states: list[Params | None] = [None] * len(tasks)
     slot_of: dict[int, int] = {}
-    items: list[TaskBatchItem] = []
+    unique: list = []
     owners: list[list[int]] = []
     for i, task in enumerate(tasks):
         if task is None or task.n_support == 0 or steps == 0:
             continue
         slot = slot_of.get(id(task))
         if slot is None:
-            slot = len(items)
+            slot = len(unique)
             slot_of[id(task)] = slot
-            items.append(
-                materialize_task(
-                    user_content,
-                    item_content,
-                    task.user_row,
-                    task.support_items,
-                    task.support_labels,
-                    task.query_items,
-                    task.query_labels,
-                )
-            )
+            unique.append(task)
             owners.append([])
         owners[slot].append(i)
-    if items:
-        for slot, fast in enumerate(maml.adapt_many(items, steps=steps)):
-            for i in owners[slot]:
-                states[i] = fast
+    if not unique:
+        return states
+    if maml.config.packed and maml.config.vectorize:
+        builder = TaskCorpusBuilder(pack_content(user_content, item_content))
+        for task in unique:
+            builder.add_task(task)
+        fasts = maml.adapt_corpus(builder.build(), steps=steps)
+    else:
+        items = [
+            materialize_task(
+                user_content,
+                item_content,
+                task.user_row,
+                task.support_items,
+                task.support_labels,
+                task.query_items,
+                task.query_labels,
+            )
+            for task in unique
+        ]
+        fasts = maml.adapt_many(items, steps=steps)
+    for slot, fast in enumerate(fasts):
+        for i in owners[slot]:
+            states[i] = fast
     return states
 
 
@@ -553,14 +726,17 @@ def materialize_task(
 ) -> TaskBatchItem:
     """Turn index-based task data into dense arrays for the model.
 
-    The user's content row is broadcast against each item's content row.
+    The user's content row is a read-only broadcast *view* across the item
+    rows (never per-row copies); labels follow the content dtype so a
+    float32 stack stays float32.
     """
     cu = user_content[user_row]
+    dtype = user_content.dtype if user_content.dtype.kind == "f" else np.float64
     return TaskBatchItem(
-        support_user=np.repeat(cu[None, :], support_items.size, axis=0),
+        support_user=np.broadcast_to(cu, (support_items.size, cu.shape[0])),
         support_item=item_content[support_items],
-        support_labels=np.asarray(support_labels, dtype=float),
-        query_user=np.repeat(cu[None, :], query_items.size, axis=0),
+        support_labels=np.asarray(support_labels, dtype=dtype),
+        query_user=np.broadcast_to(cu, (query_items.size, cu.shape[0])),
         query_item=item_content[query_items],
-        query_labels=np.asarray(query_labels, dtype=float),
+        query_labels=np.asarray(query_labels, dtype=dtype),
     )

@@ -14,6 +14,15 @@ MeLU keeps embeddings global) against inputs of shape ``(T, batch, C)``, in
 which case predictions are ``(T, batch)``, losses are per-task vectors and
 gradients keep the task axis.  This is what lets MAML adapt a whole
 meta-batch of tasks in one numpy pass.
+
+The content inputs additionally support the *broadcast-user* form of the
+packed corpus data path (:mod:`repro.meta.corpus`): user content of shape
+``(T, 1, C)`` against item content ``(T, batch, C)``.  Each task's single
+user row is embedded once and its embedding broadcast across the item rows
+— the per-row copies of the dense layout (``np.repeat`` over the support
+set) never exist, and the user-embedding GEMM shrinks by the batch width.
+The backward pass sums the broadcast gradient over the item axis, which is
+exactly the dense computation reassociated (identical to float rounding).
 """
 
 from __future__ import annotations
@@ -32,17 +41,37 @@ from repro.utils.rng import ensure_rng
 
 @dataclass(frozen=True)
 class PreferenceModelConfig:
-    """Sizes of the preference network."""
+    """Sizes of the preference network.
+
+    ``dtype`` is the parameter (and intended activation) dtype.  The meta
+    stack runs float32 end to end — preference probabilities live in [0, 1]
+    and the narrower dtype halves every GEMM's bandwidth; pass
+    ``dtype=np.float64`` for gradient checking against numerical
+    differentiation.
+    """
 
     content_dim: int
     embed_dim: int = 32
     hidden_dims: tuple[int, ...] = (64, 32)
+    dtype: np.dtype | type = np.float32
 
     def __post_init__(self) -> None:
         if self.content_dim <= 0 or self.embed_dim <= 0:
             raise ValueError("dimensions must be positive")
         if any(h <= 0 for h in self.hidden_dims):
             raise ValueError("hidden dims must be positive")
+
+
+def _broadcast_user(xu: np.ndarray, xi: np.ndarray) -> tuple[np.ndarray, bool]:
+    """Broadcast a per-task single user embedding across the item rows."""
+    if (
+        xu.ndim == xi.ndim
+        and xu.ndim >= 2
+        and xu.shape[-2] == 1
+        and xi.shape[-2] != 1
+    ):
+        return np.broadcast_to(xu, xi.shape[:-1] + (xu.shape[-1],)), True
+    return xu, False
 
 
 class PreferenceModel:
@@ -67,6 +96,7 @@ class PreferenceModel:
     # ------------------------------------------------------------------
     def init_params(self, rng: int | np.random.Generator | None = None) -> Params:
         gen = ensure_rng(rng)
+        dtype = np.dtype(self.config.dtype)
         params: Params = {}
         for prefix, module in (
             ("user_embed", self.user_embed),
@@ -74,7 +104,7 @@ class PreferenceModel:
             ("mlp", self.mlp),
         ):
             for name, value in module.init_params(gen).items():
-                params[f"{prefix}.{name}"] = value
+                params[f"{prefix}.{name}"] = value.astype(dtype)
         return params
 
     @staticmethod
@@ -95,13 +125,17 @@ class PreferenceModel:
         Inputs of shape ``(batch, content_dim)`` give ``preds`` of shape
         ``(batch,)``; task-batched inputs ``(T, batch, content_dim)`` give
         ``(T, batch)`` — one independent model per task when the parameters
-        are stacked, broadcasting for the parameters that are not.
+        are stacked, broadcasting for the parameters that are not.  User
+        content ``(T, 1, C)`` against item content ``(T, batch, C)`` embeds
+        each task's user once and broadcasts the embedding across the item
+        rows (the packed-corpus form).
         """
         xu, cache_u = self.user_embed.forward(self._sub(params, "user_embed"), user_content)
         xi, cache_i = self.item_embed.forward(self._sub(params, "item_embed"), item_content)
+        xu, user_broadcast = _broadcast_user(xu, xi)
         joint = np.concatenate([xu, xi], axis=-1)
         out, cache_m = self.mlp.forward(self._sub(params, "mlp"), joint)
-        return out[..., 0], (cache_u, cache_i, cache_m)
+        return out[..., 0], (cache_u, cache_i, cache_m, user_broadcast)
 
     def backward(self, params: Params, cache: Any, d_preds: np.ndarray) -> Grads:
         """Gradients of a scalar loss given ``d loss / d preds``.
@@ -109,15 +143,23 @@ class PreferenceModel:
         With task-batched inputs the returned gradients carry the leading
         task axis (per-task gradients) for every parameter.
         """
-        cache_u, cache_i, cache_m = cache
+        cache_u, cache_i, cache_m, user_broadcast = cache
         d_out = d_preds[..., None]
         d_joint, grads_m = self.mlp.backward(self._sub(params, "mlp"), cache_m, d_out)
         e = self.config.embed_dim
+        d_xu = d_joint[..., :e]
+        if user_broadcast:
+            d_xu = d_xu.sum(axis=-2, keepdims=True)
+        # Content is not a parameter: neither embedding branch needs its
+        # input gradient, which skips the content-wide dx GEMMs entirely.
         _, grads_u = self.user_embed.backward(
-            self._sub(params, "user_embed"), cache_u, d_joint[..., :e]
+            self._sub(params, "user_embed"), cache_u, d_xu, need_input_grad=False
         )
         _, grads_i = self.item_embed.backward(
-            self._sub(params, "item_embed"), cache_i, d_joint[..., e:]
+            self._sub(params, "item_embed"),
+            cache_i,
+            d_joint[..., e:],
+            need_input_grad=False,
         )
         grads: Grads = {}
         for prefix, sub in (("user_embed", grads_u), ("item_embed", grads_i), ("mlp", grads_m)):
@@ -140,10 +182,13 @@ class PreferenceModel:
 
         With MeLU's decision-only inner loop the embedding layers are
         frozen, so this can be computed once per adaptation and reused for
-        every inner step (see :meth:`decision_loss_and_grads`).
+        every inner step (see :meth:`decision_loss_and_grads`).  Accepts
+        the broadcast-user form (``(T, 1, C)`` user content) like
+        :meth:`forward`.
         """
         xu = self.user_embed(self._sub(params, "user_embed"), user_content)
         xi = self.item_embed(self._sub(params, "item_embed"), item_content)
+        xu, _ = _broadcast_user(xu, xi)
         return np.concatenate([xu, xi], axis=-1)
 
     def decision_loss_and_grads(
@@ -168,7 +213,10 @@ class PreferenceModel:
         else:
             loss, d_preds = binary_cross_entropy_tasks(preds, labels, mask=mask)
         _, grads_m = self.mlp.backward(
-            self._sub(params, "mlp"), cache_m, d_preds[..., None]
+            self._sub(params, "mlp"),
+            cache_m,
+            d_preds[..., None],
+            need_input_grad=False,
         )
         return loss, {f"mlp.{name}": value for name, value in grads_m.items()}
 

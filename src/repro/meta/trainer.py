@@ -25,13 +25,17 @@ from repro.cvae.augment import AugmentedRatings, DiversePreferenceAugmenter
 from repro.cvae.trainer import TrainerConfig
 from repro.data.negative_sampling import EvalInstance
 from repro.data.tasks import PreferenceTask
+from repro.meta.corpus import (
+    PackedContent,
+    PackedContentMixin,
+    TaskCorpus,
+    TaskCorpusBuilder,
+)
 from repro.meta.maml import (
     MAML,
     MAMLConfig,
-    TaskBatchItem,
     adapt_task_states,
     batched_candidate_scores,
-    materialize_task,
     subsample_support,
 )
 from repro.meta.model import PreferenceModel, PreferenceModelConfig
@@ -90,7 +94,7 @@ def _sharpen_per_user(matrix: np.ndarray) -> np.ndarray:
     return (matrix - lo) / span
 
 
-class MetaDPA(Recommender):
+class MetaDPA(PackedContentMixin, Recommender):
     """Diverse Preference Augmentation with multiple domains (the paper)."""
 
     name = "MetaDPA"
@@ -101,6 +105,7 @@ class MetaDPA(Recommender):
         self.maml: MAML | None = None
         self.augmented: AugmentedRatings | None = None
         self._ctx: FitContext | None = None
+        self._content: PackedContent | None = None
         self.meta_loss_history: list[float] = []
         self._aug_cache = None
         self._aug_cache_token = ""
@@ -124,6 +129,7 @@ class MetaDPA(Recommender):
         cfg = self.config
         aug_rng, maml_rng, sample_rng = spawn_rngs(self.seed, 3)
         self._ctx = ctx
+        self._content = None
         self.attach_serving(ctx)
         domain = ctx.domain
 
@@ -162,28 +168,33 @@ class MetaDPA(Recommender):
         # Block 3: preference meta-learning over original + augmented tasks.
         model = self._build_model(domain.user_content.shape[1])
         self.maml = MAML(model, cfg.maml, seed=maml_rng)
-        tasks = self._build_meta_tasks(ctx, sample_rng)
-        self.meta_loss_history = self.maml.fit(tasks, epochs=cfg.meta_epochs)
+        corpus = self._build_meta_corpus(ctx, sample_rng)
+        self.meta_loss_history = self.maml.fit(corpus, epochs=cfg.meta_epochs)
         return self
 
-    def _build_meta_tasks(
+    def _build_meta_corpus(
         self, ctx: FitContext, rng: np.random.Generator
-    ) -> list[TaskBatchItem]:
-        """Original warm tasks plus k augmented views per user (Eqs. 9–10)."""
-        items: list[TaskBatchItem] = []
+    ) -> TaskCorpus:
+        """Original warm tasks plus k augmented views per user (Eqs. 9–10).
+
+        Packed construction: every warm task (and its few-shot subsampled
+        view) stores its index arrays once; each of the k augmented views
+        shares its parent's indices and adds only a float32 label row read
+        from the generated rating matrix — the corpus never copies content.
+        """
+        builder = TaskCorpusBuilder(self._packed_content())
         for task in ctx.warm_tasks:
-            items.append(self._materialize(task))
+            base = builder.add_task(task)
             if self.config.few_shot_views:
-                items.append(self._materialize(subsample_support(task, rng)))
+                builder.add_task(subsample_support(task, rng))
             if self.augmented is None:
                 continue
             for matrix in self.augmented.matrices:
                 if self.config.augmentation_weight < 1.0:
                     if rng.random() > self.config.augmentation_weight:
                         continue
-                augmented_task = task.with_labels(matrix[task.user_row])
-                items.append(self._materialize(augmented_task))
-        return items
+                builder.add_rating_view(base, matrix[task.user_row])
+        return builder.build()
 
     def _build_model(self, content_dim: int) -> PreferenceModel:
         cfg = self.config
@@ -193,18 +204,6 @@ class MetaDPA(Recommender):
                 embed_dim=cfg.embed_dim,
                 hidden_dims=cfg.hidden_dims,
             )
-        )
-
-    def _materialize(self, task: PreferenceTask) -> TaskBatchItem:
-        serving = self.serving
-        return materialize_task(
-            serving.user_content,
-            serving.item_content,
-            task.user_row,
-            task.support_items,
-            task.support_labels,
-            task.query_items,
-            task.query_labels,
         )
 
     # ------------------------------------------------------------------
@@ -218,19 +217,17 @@ class MetaDPA(Recommender):
             raise RuntimeError("fit() must be called before adapt_user()")
         if task is None or task.n_support == 0 or self.config.finetune_steps == 0:
             return None
-        return self.maml.finetune(
-            self._materialize(task), steps=self.config.finetune_steps
-        )
+        return self.adapt_users([task])[0]
 
     def adapt_users(self, tasks):
         """Fine-tune a whole batch of users in one vectorized inner loop."""
         if self.maml is None:
             raise RuntimeError("fit() must be called before adapt_users()")
-        serving = self.serving
+        content = self._packed_content()
         return adapt_task_states(
             self.maml,
-            serving.user_content,
-            serving.item_content,
+            content.user,
+            content.item,
             tasks,
             self.config.finetune_steps,
         )
@@ -243,22 +240,23 @@ class MetaDPA(Recommender):
     ) -> np.ndarray:
         if self.maml is None:
             raise RuntimeError("fit() must be called before scoring")
-        serving = self.serving
+        content = self._packed_content()
         params = state if state is not None else self.maml.params
         candidates = instance.candidates
-        user_content = np.repeat(
-            serving.user_content[instance.user_row][None, :], candidates.size, axis=0
-        )
+        # (1, C) user row: the model embeds the user once and broadcasts
+        # the embedding across the candidates (see _broadcast_user).
         return self.maml.predict(
-            user_content, serving.item_content[candidates], params=params
+            content.user[instance.user_row][None, :],
+            content.item[candidates],
+            params=params,
         )
 
     def score_with_state_batch(self, states, instances) -> list[np.ndarray]:
         if self.maml is None:
             raise RuntimeError("fit() must be called before scoring")
-        serving = self.serving
+        content = self._packed_content()
         return batched_candidate_scores(
-            self.maml, serving.user_content, serving.item_content, states, instances
+            self.maml, content.user, content.item, states, instances
         )
 
     def score(

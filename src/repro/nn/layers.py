@@ -58,13 +58,26 @@ class Linear(Module):
             y = y + (b[..., None, :] if b.ndim > 1 else b)
         return y, x
 
+    #: Sequential may skip this layer's input gradient when it is discarded.
+    skip_input_grad = True
+
     def backward(
-        self, params: Params, cache: Any, dy: np.ndarray
-    ) -> tuple[np.ndarray, Grads]:
+        self,
+        params: Params,
+        cache: Any,
+        dy: np.ndarray,
+        *,
+        need_input_grad: bool = True,
+    ) -> tuple[np.ndarray | None, Grads]:
         x = cache
         grads: Grads = {"W": np.swapaxes(x, -1, -2) @ dy}
         if self.use_bias:
             grads["b"] = dy.sum(axis=-2)
+        if not need_input_grad:
+            # The input-gradient GEMM matches the weight-gradient GEMM in
+            # cost; callers that discard dx (a network's first layer over
+            # raw content) skip half the layer's backward work.
+            return None, grads
         dx = dy @ np.swapaxes(params["W"], -1, -2)
         return dx, grads
 

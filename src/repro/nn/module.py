@@ -45,6 +45,10 @@ Grads = dict[str, np.ndarray]
 class Module:
     """Base class for all stateless layers and networks."""
 
+    #: True for layers whose ``backward`` accepts ``need_input_grad=False``
+    #: and can skip the input-gradient computation when it is discarded.
+    skip_input_grad = False
+
     def init_params(self, rng: np.random.Generator) -> Params:
         raise NotImplementedError
 
@@ -119,15 +123,35 @@ class Sequential(Module):
         return out, caches
 
     def backward(
-        self, params: Params, cache: Any, dy: np.ndarray
-    ) -> tuple[np.ndarray, Grads]:
+        self,
+        params: Params,
+        cache: Any,
+        dy: np.ndarray,
+        *,
+        need_input_grad: bool = True,
+    ) -> tuple[np.ndarray | None, Grads]:
+        """Backward through the chain.
+
+        ``need_input_grad=False`` tells the *first* layer its input
+        gradient is discarded (layers advertising ``skip_input_grad`` then
+        skip that GEMM entirely — e.g. an embedding branch over raw
+        content, whose ``dx`` no caller consumes).
+        """
         grads: Grads = {}
         grad_out = dy
         for i in reversed(range(len(self.layers))):
             layer = self.layers[i]
-            grad_out, layer_grads = layer.backward(
-                self._child_params(params, i), cache[i], grad_out
-            )
+            if i == 0 and not need_input_grad and layer.skip_input_grad:
+                grad_out, layer_grads = layer.backward(
+                    self._child_params(params, i),
+                    cache[i],
+                    grad_out,
+                    need_input_grad=False,
+                )
+            else:
+                grad_out, layer_grads = layer.backward(
+                    self._child_params(params, i), cache[i], grad_out
+                )
             for name, value in layer_grads.items():
                 grads[f"{i}.{name}"] = value
         return grad_out, grads

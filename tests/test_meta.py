@@ -15,9 +15,14 @@ from repro.nn import numerical_gradient, relative_error
 RNG = np.random.default_rng(0)
 
 
-def _model(content_dim=6) -> PreferenceModel:
+def _model(content_dim=6, dtype=np.float64) -> PreferenceModel:
+    # float64 by default here: numerical-gradient checks (and the exact
+    # adapt/finetune identities below) need more headroom than the float32
+    # the meta stack trains in.
     return PreferenceModel(
-        PreferenceModelConfig(content_dim=content_dim, embed_dim=4, hidden_dims=(5,))
+        PreferenceModelConfig(
+            content_dim=content_dim, embed_dim=4, hidden_dims=(5,), dtype=dtype
+        )
     )
 
 

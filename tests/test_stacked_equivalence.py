@@ -206,8 +206,12 @@ class TestLossEquivalence:
 
 
 def _model(content_dim: int = 5) -> PreferenceModel:
+    # float64: these properties pin stacked == scalar at near-bitwise
+    # tolerances, which the default float32 meta stack cannot express.
     return PreferenceModel(
-        PreferenceModelConfig(content_dim=content_dim, embed_dim=3, hidden_dims=(4,))
+        PreferenceModelConfig(
+            content_dim=content_dim, embed_dim=3, hidden_dims=(4,), dtype=np.float64
+        )
     )
 
 
