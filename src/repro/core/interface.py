@@ -341,8 +341,15 @@ class Recommender(abc.ABC):
             f"{_STATE_PREFIX}{k}": np.asarray(v)
             for k, v in self.state_dict().items()
         }
-        payload[f"{_SERVING_PREFIX}user_content"] = serving.user_content
-        payload[f"{_SERVING_PREFIX}item_content"] = serving.item_content
+        # Serving content is stored float32 C-contiguous — the exact layout
+        # :func:`repro.meta.corpus.pack_content` wants — so a memory-mapped
+        # load feeds the packed scoring path by reference, no copy.
+        payload[f"{_SERVING_PREFIX}user_content"] = np.ascontiguousarray(
+            serving.user_content, dtype=np.float32
+        )
+        payload[f"{_SERVING_PREFIX}item_content"] = np.ascontiguousarray(
+            serving.item_content, dtype=np.float32
+        )
         payload[f"{_SERVING_PREFIX}seen"] = serving.seen.astype(np.uint8)
         header = {
             "format": ARTIFACT_FORMAT,
@@ -350,17 +357,21 @@ class Recommender(abc.ABC):
             "seed": int(getattr(self, "seed", 0)),
             "config": self.config_dict(),
         }
-        path = Path(path)
-        save_params(path, payload, config=header)
-        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+        return save_params(Path(path), payload, config=header)
 
     @classmethod
-    def load(cls, path: str | Path) -> "Recommender":
-        """Rebuild a fitted method from a :meth:`save` artifact."""
+    def load(cls, path: str | Path, mmap_mode: str | None = None) -> "Recommender":
+        """Rebuild a fitted method from a :meth:`save` artifact.
+
+        With ``mmap_mode`` (``"r"`` or ``"c"``) every persisted array is an
+        ``np.memmap`` view into the archive: startup is O(open), nothing is
+        materialized until scored against, and N processes loading the same
+        artifact share one page-cache copy of the weights and content.
+        """
         from repro.nn.serialization import load_params
         from repro.registry import build_method
 
-        arrays, header = load_params(path)
+        arrays, header = load_params(path, mmap_mode=mmap_mode)
         if not header or "method" not in header:
             raise ValueError(f"{path} is not a recommender artifact")
         method = build_method(
@@ -371,10 +382,13 @@ class Recommender(abc.ABC):
             raise TypeError(
                 f"artifact holds a {type(method).__name__}, not a {cls.__name__}"
             )
+        seen = arrays[f"{_SERVING_PREFIX}seen"]
+        # uint8 -> bool is a reinterpreting view, keeping the mmap zero-copy.
+        seen = seen.view(bool) if seen.dtype == np.uint8 else seen.astype(bool)
         method._serving = ServingState(
             user_content=arrays[f"{_SERVING_PREFIX}user_content"],
             item_content=arrays[f"{_SERVING_PREFIX}item_content"],
-            seen=arrays[f"{_SERVING_PREFIX}seen"].astype(bool),
+            seen=seen,
         )
         state = {
             name[len(_STATE_PREFIX):]: value

@@ -121,6 +121,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=10)
     p.add_argument("--cache-size", type=int, default=256)
     p.add_argument("--batch", action="store_true", help="enable micro-batching")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="serve from N sharded worker processes (0 = in-process)",
+    )
+    p.add_argument(
+        "--zipf-alpha",
+        type=float,
+        default=None,
+        help="skew the workload Zipfian(alpha) instead of uniform",
+    )
 
     # -- experiment grids ----------------------------------------------
     p = sub.add_parser("grid", help="sharded, resumable experiment grids")
@@ -221,25 +233,47 @@ def _run_recommend(args: argparse.Namespace) -> int:
 def _run_serve(args: argparse.Namespace) -> int:
     import numpy as np
 
+    from repro.core.interface import Recommender
     from repro.service import RecommenderService
+    from repro.serve import ShardedService, zipfian_users
     from repro.utils.timing import Timer
 
-    service = RecommenderService.from_artifact(
-        args.artifact, cache_size=args.cache_size, batching=args.batch
-    )
-    n_users = service.method.serving.n_users
+    if args.workers > 0:
+        service = ShardedService(
+            args.artifact, n_workers=args.workers, cache_size=args.cache_size
+        )
+        service.wait_ready(timeout=120.0)
+        n_users = Recommender.load(args.artifact, mmap_mode="r").serving.n_users
+    else:
+        service = RecommenderService.from_artifact(
+            args.artifact, cache_size=args.cache_size, batching=args.batch
+        )
+        n_users = service.method.serving.n_users
     rng = np.random.default_rng(args.seed)
     users = rng.integers(0, n_users, size=min(args.distinct_users, n_users))
-    workload = rng.choice(users, size=args.requests)
+    if args.zipf_alpha is not None:
+        workload = zipfian_users(
+            users, args.requests, alpha=args.zipf_alpha, seed=args.seed
+        )
+    else:
+        workload = rng.choice(users, size=args.requests)
+    mode = f"workers={args.workers}" if args.workers > 0 else f"batching={args.batch}"
     print(
         f"Replaying {args.requests} requests over {users.size} users "
-        f"(cache_size={args.cache_size}, batching={args.batch}) ..."
+        f"(cache_size={args.cache_size}, {mode}) ..."
     )
     with Timer() as timer:
-        for user in workload:
-            service.recommend(int(user), k=args.k)
-    service.close()
+        if args.workers > 0:
+            # Submit the whole stream so concurrent requests coalesce into
+            # per-shard micro-batches, then drain.
+            futures = [service.submit(int(user), k=args.k) for user in workload]
+            for future in futures:
+                future.result()
+        else:
+            for user in workload:
+                service.recommend(int(user), k=args.k)
     stats = service.stats()
+    service.close()
     throughput = args.requests / max(timer.elapsed, 1e-9)
     print(f"Served {args.requests} requests in {timer.elapsed:.3f}s "
           f"({throughput:.0f} req/s)")

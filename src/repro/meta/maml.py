@@ -99,6 +99,32 @@ def _pad_rows(arrays: Sequence[np.ndarray], width: int) -> np.ndarray:
     return np.stack([pad_axis(np.asarray(a), 0, width) for a in arrays])
 
 
+def uniform_width_chunks(
+    widths: np.ndarray, order: np.ndarray, max_chunk: int
+) -> list[np.ndarray]:
+    """Split a width-sorted index ``order`` into same-width runs ≤ ``max_chunk``.
+
+    Stacking tasks of one support width is bit-identical to adapting each
+    alone — the per-task GEMM rows are unchanged by the extra task axis —
+    but *padding* a mixed-width chunk perturbs the low-order bits of every
+    shorter task's updates.  Cutting chunks at width boundaries therefore
+    makes adapted fast weights a pure function of ``(params, task)``,
+    independent of which other tasks happen to share the flush; the sharded
+    serving layer's bit-equivalence guarantee rests on this.
+    """
+    chunks: list[np.ndarray] = []
+    start = 0
+    for i in range(1, order.size + 1):
+        if (
+            i == order.size
+            or widths[order[i]] != widths[order[start]]
+            or i - start >= max_chunk
+        ):
+            chunks.append(order[start:i])
+            start = i
+    return chunks
+
+
 @dataclass(frozen=True)
 class TaskBatch:
     """A whole meta-batch of tasks as padded ``[T, ...]`` arrays.
@@ -302,20 +328,20 @@ class MAML:
         that fine-tunes a whole flush of cold-start users at once.  Returns
         one ordinary fast-weight dict per task (views into the stacked
         storage; shared non-adapted weights stay shared).  ``max_chunk``
-        bounds the padded ``(T, S, C)`` scratch memory; ragged tasks are
-        bucketed by support size first so each chunk pads to near-uniform
-        width instead of the global maximum.
+        bounds the stacked ``(T, S, C)`` scratch memory; tasks are grouped
+        into same-support-width chunks (see :func:`uniform_width_chunks`) so
+        every chunk stacks padding-free and each task's fast weights are
+        bit-identical to a solo :meth:`adapt` — independent of which other
+        tasks share the flush.
         """
         if max_chunk <= 0:
             raise ValueError("max_chunk must be positive")
         if not self.config.vectorize:
             return [self.adapt(item, steps=steps) for item in items]
-        order = sorted(
-            range(len(items)), key=lambda i: items[i].support_labels.size
-        )
+        widths = np.array([item.support_labels.size for item in items])
+        order = np.argsort(widths, kind="stable")
         results: list[Params | None] = [None] * len(items)
-        for start in range(0, len(order), max_chunk):
-            indices = order[start : start + max_chunk]
+        for indices in uniform_width_chunks(widths, order, max_chunk):
             if len(indices) == 1:
                 results[indices[0]] = self.adapt(items[indices[0]], steps=steps)
                 continue
@@ -479,10 +505,12 @@ class MAML:
         """Adapt every view of ``corpus`` independently; packed counterpart
         of :meth:`adapt_many`.
 
-        Views are bucketed by support size and fine-tuned in padded chunks
-        of ``max_chunk``; each chunk is one fancy-indexed gather plus one
-        vectorized inner loop.  Returns one owning fast-weight dict per
-        view (shared non-adapted weights stay shared).
+        Views are grouped into same-support-width chunks of at most
+        ``max_chunk`` (see :func:`uniform_width_chunks`); each chunk is one
+        fancy-indexed gather plus one vectorized inner loop, with no
+        padding, so every view's fast weights are bit-identical to adapting
+        it alone.  Returns one owning fast-weight dict per view (shared
+        non-adapted weights stay shared).
         """
         if max_chunk <= 0:
             raise ValueError("max_chunk must be positive")
@@ -493,10 +521,10 @@ class MAML:
         content = corpus.content
         if content is None:
             raise ValueError("corpus has no content attached")
-        order = np.argsort(corpus.view_support_lens(), kind="stable")
+        widths = corpus.view_support_lens()
+        order = np.argsort(widths, kind="stable")
         results: list[Params | None] = [None] * corpus.n_views
-        for start in range(0, order.size, max_chunk):
-            chunk = order[start : start + max_chunk]
+        for chunk in uniform_width_chunks(widths, order, max_chunk):
             batch = corpus.gather_batch(
                 chunk, scratch=self._scratch, support_only=True
             )

@@ -1,0 +1,30 @@
+"""Multi-worker serving: sharded processes over one mmap'd artifact.
+
+The production tier above :mod:`repro.service`::
+
+    path = method.save("metadpa.npz")
+    with ShardedService(path, n_workers=4) as service:
+        service.register_user_history(task)      # routed to the owner shard
+        service.recommend(user_row=7, k=10)      # coalesced, cached, sharded
+
+Workers memory-map the artifact (O(open) startup, one shared page-cache
+copy), own disjoint user slices with private adaptation LRUs, and are
+supervised — a dead worker restarts against the same artifact with a
+cleared cache.  Answers are bit-identical to the single-process
+:class:`~repro.service.RecommenderService` for the same request stream.
+:mod:`repro.serve.loadgen` provides the Zipfian open-loop harness used by
+``benchmarks/bench_load.py``.
+"""
+
+from repro.serve.loadgen import LoadReport, run_open_loop, zipfian_users
+from repro.serve.sharded import ShardedService
+from repro.serve.worker import WorkerOptions, run_worker
+
+__all__ = [
+    "LoadReport",
+    "ShardedService",
+    "WorkerOptions",
+    "run_open_loop",
+    "run_worker",
+    "zipfian_users",
+]

@@ -1,0 +1,123 @@
+"""Open-loop Zipfian load generation for the serving layer.
+
+Production request streams are heavy-tailed: a hot head of users accounts
+for most traffic (their adaptations sit in the LRU) while a long tail of
+rare users forces cold fine-tuning.  :func:`zipfian_users` samples such a
+stream — P(rank r) ∝ 1/r^α over a bounded user pool — and
+:func:`run_open_loop` replays it open-loop: arrivals are scheduled on a
+fixed clock (``i / rate``) regardless of completions, so a service that
+cannot keep up accumulates queueing delay in its latency percentiles
+instead of silently throttling the generator (closed-loop measurement would
+hide the overload).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def zipf_probabilities(n: int, alpha: float) -> np.ndarray:
+    """Normalized P(rank r) ∝ 1/(r+1)^alpha for ranks 0..n-1."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    weights = 1.0 / np.power(np.arange(1, n + 1, dtype=float), alpha)
+    return weights / weights.sum()
+
+
+def zipfian_users(
+    pool: Sequence[int] | np.ndarray,
+    n_requests: int,
+    alpha: float = 1.1,
+    seed: int = 0,
+) -> np.ndarray:
+    """Sample a Zipfian(α) request stream over ``pool``.
+
+    Rank follows pool order: ``pool[0]`` is the hottest user.  ``alpha``
+    controls skew — larger means a hotter head and a colder tail.
+    """
+    pool = np.asarray(pool, dtype=int)
+    rng = np.random.default_rng(seed)
+    probabilities = zipf_probabilities(pool.size, alpha)
+    return rng.choice(pool, size=n_requests, p=probabilities)
+
+
+@dataclass
+class LoadReport:
+    """Latency and throughput summary of one open-loop run."""
+
+    n_requests: int
+    offered_rate: float
+    elapsed: float
+    latencies: np.ndarray
+
+    @property
+    def qps(self) -> float:
+        """Sustained completion rate over the whole run."""
+        return self.n_requests / self.elapsed if self.elapsed > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.latencies, q))
+
+    def to_dict(self) -> dict:
+        return {
+            "n_requests": self.n_requests,
+            "offered_rate": self.offered_rate,
+            "elapsed_s": self.elapsed,
+            "qps": self.qps,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+        }
+
+
+def run_open_loop(
+    submit: Callable[[int], Future],
+    users: Sequence[int] | np.ndarray,
+    rate: float,
+) -> LoadReport:
+    """Drive ``submit`` with one request per user at ``rate`` arrivals/s.
+
+    ``submit`` must return a future (e.g. ``ShardedService.submit``).  Each
+    request's latency is submit-to-completion, so coalescing waits and
+    queueing delay under overload are counted against the service.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    users = np.asarray(users, dtype=int)
+    n = users.size
+    latencies = np.full(n, np.nan)
+    done_at = np.full(n, np.nan)
+    futures: list[Future] = []
+    start = time.perf_counter()
+    for i, user in enumerate(users):
+        target = start + i / rate
+        now = time.perf_counter()
+        if target > now:
+            time.sleep(target - now)
+        submitted = time.perf_counter()
+
+        def record(future: Future, i: int = i, submitted: float = submitted) -> None:
+            finished = time.perf_counter()
+            latencies[i] = finished - submitted
+            done_at[i] = finished
+
+        future = submit(int(user))
+        future.add_done_callback(record)
+        futures.append(future)
+    for future in futures:
+        future.result()
+    # result() can return a hair before the done-callback runs; wait it out.
+    deadline = time.monotonic() + 5.0
+    while np.isnan(done_at).any() and time.monotonic() < deadline:
+        time.sleep(0.001)
+    elapsed = float(np.nanmax(done_at) - start)
+    return LoadReport(
+        n_requests=n,
+        offered_rate=rate,
+        elapsed=elapsed,
+        latencies=latencies,
+    )

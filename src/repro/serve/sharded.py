@@ -1,0 +1,388 @@
+"""`ShardedService`: N supervised worker processes behind one front-end.
+
+Layout
+------
+Requests are routed by ``user_row % n_workers``, so each worker's
+adaptation LRU owns a disjoint slice of the user base — no cross-worker
+cache duplication.  Every shard gets its own
+:class:`~repro.service.MicroBatcher` on the parent side: concurrent
+``submit`` calls coalesce into per-shard micro-batches (``max_wait_ms``
+deadline, ``max_batch`` cap) that cross the process boundary as **one**
+``batch`` RPC, and the worker resolves the whole flush's cold-start users
+with one ``adapt_users`` call.
+
+Because the workers memory-map one shared artifact and score each request
+through the same solo path the single-process facade uses (see
+``RecommenderService.recommend_batch``), the sharded answers are
+bit-identical to sequential single-process serving for the same request
+stream.
+
+Supervision
+-----------
+A heartbeat thread polls worker liveness and each shard's pipe reader
+detects EOF on death; either path restarts the worker against the same
+mmap'd artifact with a cleared cache (generation counter makes the two
+detectors idempotent).  In-flight requests of a dead worker are resubmitted
+once to its replacement; a request that kills two workers in a row gets its
+error instead of an infinite crash loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.interface import Recommendation
+from repro.data.tasks import PreferenceTask
+from repro.service.batching import MicroBatcher
+from repro.service.service import ServeRequest
+from repro.serve.worker import CONTROL_ID, WorkerOptions, run_worker
+
+#: resubmits after a worker death: one replacement try, then fail the call.
+_MAX_ATTEMPTS = 2
+
+
+@dataclass
+class _PendingCall:
+    """An RPC awaiting its worker reply (or a resubmit after a restart)."""
+
+    future: Future
+    kind: str
+    payload: object
+    attempts: int = 1
+
+
+@dataclass
+class _Shard:
+    """Parent-side state of one worker: pipe, pending RPCs, coalescer."""
+
+    index: int
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    pending: dict[int, _PendingCall] = field(default_factory=dict)
+    next_id: int = 0
+    generation: int = 0
+    restarts: int = 0
+    proc: mp.process.BaseProcess | None = None
+    conn: object = None
+    ready: threading.Event = field(default_factory=threading.Event)
+    batcher: MicroBatcher | None = None
+
+
+def default_start_method() -> str:
+    """The repo's process-start idiom: fork when available, else spawn."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class ShardedService:
+    """Serve one artifact from N supervised worker processes.
+
+    Parameters
+    ----------
+    artifact:
+        path of a ``Recommender.save`` archive; every worker maps it.
+    n_workers:
+        shard count; requests route by ``user_row % n_workers``.
+    cache_size:
+        per-worker adaptation LRU capacity.
+    candidate_pool:
+        optional global candidate restriction, forwarded to every worker.
+    max_batch / max_wait_ms:
+        per-shard coalescing window (see :class:`MicroBatcher`).
+    mmap_mode:
+        how workers load the artifact; ``"r"`` (default) maps it read-only,
+        ``None`` forces the old eager load.
+    start_method:
+        multiprocessing start method; default fork-where-available.  The
+        worker entry point is spawn-safe.
+    heartbeat_interval:
+        seconds between supervisor liveness polls.
+    request_timeout:
+        upper bound on one cross-process flush; ``None`` waits forever.
+    """
+
+    def __init__(
+        self,
+        artifact: str | Path,
+        n_workers: int = 2,
+        *,
+        cache_size: int = 256,
+        candidate_pool: np.ndarray | None = None,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        mmap_mode: str | None = "r",
+        start_method: str | None = None,
+        heartbeat_interval: float = 0.5,
+        request_timeout: float | None = 60.0,
+    ):
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        path = Path(artifact)
+        if not path.exists():
+            raise FileNotFoundError(f"artifact not found: {path}")
+        self._artifact = str(path)
+        self._options = WorkerOptions(
+            mmap_mode=mmap_mode,
+            cache_size=cache_size,
+            candidate_pool=candidate_pool,
+        )
+        self._ctx = mp.get_context(start_method or default_start_method())
+        self._request_timeout = request_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.n_requests = 0
+        self._closing = False
+        self._closed = False
+        self._shards = [_Shard(index=i) for i in range(n_workers)]
+        for shard in self._shards:
+            with shard.lock:
+                self._spawn_worker(shard)
+            shard.batcher = MicroBatcher(
+                self._make_flush(shard),
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+            )
+        self._stop = threading.Event()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-serve-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    # -- worker lifecycle ----------------------------------------------
+    def _spawn_worker(self, shard: _Shard) -> None:
+        """Start (or restart) a shard's process; caller holds ``shard.lock``."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=run_worker,
+            args=(child_conn, self._artifact, self._options),
+            name=f"repro-serve-shard-{shard.index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        shard.proc = proc
+        shard.conn = parent_conn
+        shard.ready = threading.Event()
+        reader = threading.Thread(
+            target=self._read_shard,
+            args=(shard, shard.generation, parent_conn),
+            name=f"repro-serve-reader-{shard.index}",
+            daemon=True,
+        )
+        reader.start()
+
+    def _read_shard(self, shard: _Shard, generation: int, conn) -> None:
+        """Resolve one pipe's replies; on EOF hand the shard to revival."""
+        while True:
+            try:
+                req_id, ok, payload = conn.recv()
+            except (EOFError, OSError):
+                break
+            if req_id == CONTROL_ID:
+                shard.ready.set()
+                continue
+            with shard.lock:
+                call = shard.pending.pop(req_id, None)
+            if call is None:
+                continue
+            if ok:
+                call.future.set_result(payload)
+            else:
+                call.future.set_exception(
+                    RuntimeError(f"shard {shard.index} request failed: {payload}")
+                )
+        if not self._closing:
+            self._revive(shard, generation)
+
+    def _revive(self, shard: _Shard, generation: int) -> None:
+        """Restart a dead worker and resubmit its in-flight requests once.
+
+        Idempotent: the EOF reader and the heartbeat poll may both report
+        the same death, but only the caller matching ``shard.generation``
+        acts.  The replacement maps the same artifact and starts with an
+        empty adaptation cache.
+        """
+        with shard.lock:
+            if self._closing or shard.generation != generation:
+                return
+            shard.generation += 1
+            shard.restarts += 1
+            stale = list(shard.pending.items())
+            shard.pending.clear()
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+            if shard.proc.is_alive():
+                shard.proc.terminate()
+            shard.proc.join(timeout=1.0)
+            self._spawn_worker(shard)
+            for req_id, call in stale:
+                if call.attempts >= _MAX_ATTEMPTS:
+                    call.future.set_exception(
+                        RuntimeError(
+                            f"shard {shard.index} died twice serving one request"
+                        )
+                    )
+                    continue
+                call.attempts += 1
+                shard.pending[req_id] = call
+                try:
+                    shard.conn.send((req_id, call.kind, call.payload))
+                except (OSError, BrokenPipeError):
+                    pass  # replacement died instantly; next revival resubmits
+
+    def _supervise(self) -> None:
+        """Heartbeat: poll worker liveness as a backstop to pipe EOF."""
+        while not self._stop.wait(self.heartbeat_interval):
+            for shard in self._shards:
+                if shard.proc is not None and not shard.proc.is_alive():
+                    self._revive(shard, shard.generation)
+
+    # -- RPC ------------------------------------------------------------
+    def _call(self, shard: _Shard, kind: str, payload) -> tuple[int, Future]:
+        future: Future = Future()
+        call = _PendingCall(future, kind, payload)
+        with shard.lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            req_id = shard.next_id
+            shard.next_id += 1
+            shard.pending[req_id] = call
+            try:
+                shard.conn.send((req_id, kind, payload))
+            except (OSError, BrokenPipeError):
+                pass  # dead worker: revival will resubmit this call
+        return req_id, future
+
+    def _rpc(self, shard: _Shard, kind: str, payload=None):
+        req_id, future = self._call(shard, kind, payload)
+        try:
+            return future.result(timeout=self._request_timeout)
+        except TimeoutError:
+            with shard.lock:
+                shard.pending.pop(req_id, None)
+            raise
+
+    def _make_flush(self, shard: _Shard):
+        def flush(requests, _instances) -> list[Recommendation]:
+            return self._rpc(shard, "batch", list(requests))
+
+        return flush
+
+    # -- serving --------------------------------------------------------
+    def shard_of(self, user_row: int) -> int:
+        return int(user_row) % len(self._shards)
+
+    def submit(
+        self,
+        user_row: int,
+        k: int = 10,
+        task: PreferenceTask | None = None,
+        exclude_seen: bool = True,
+    ) -> Future:
+        """Enqueue one request; resolves to a :class:`Recommendation`.
+
+        The request rides its shard's next micro-batch: one coalesced RPC,
+        one batched adaptation pass in the worker.
+        """
+        shard = self._shards[self.shard_of(user_row)]
+        request = ServeRequest(int(user_row), int(k), task, bool(exclude_seen))
+        self.n_requests += 1
+        return shard.batcher.submit(request, None)
+
+    def recommend(
+        self,
+        user_row: int,
+        k: int = 10,
+        task: PreferenceTask | None = None,
+        exclude_seen: bool = True,
+    ) -> Recommendation:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(user_row, k, task, exclude_seen).result(
+            timeout=self._request_timeout
+        )
+
+    def recommend_many(
+        self, user_rows: list[int], k: int = 10, exclude_seen: bool = True
+    ) -> list[Recommendation]:
+        """Fan a batch of users over their shards and gather the answers."""
+        futures = [
+            self.submit(user, k, exclude_seen=exclude_seen) for user in user_rows
+        ]
+        return [f.result(timeout=self._request_timeout) for f in futures]
+
+    def register_user_history(self, task: PreferenceTask) -> None:
+        """Attach a support task to its owning shard for adaptation."""
+        self._rpc(self._shards[self.shard_of(task.user_row)], "register", task)
+
+    def invalidate_user(self, user_row: int) -> None:
+        """Drop one user's cached adaptation on its owning shard."""
+        self._rpc(self._shards[self.shard_of(user_row)], "invalidate", int(user_row))
+
+    def ping(self, shard_index: int) -> bool:
+        """Round-trip health probe of one worker."""
+        return self._rpc(self._shards[shard_index], "ping") == "pong"
+
+    def wait_ready(self, timeout: float | None = None) -> bool:
+        """Block until every worker finished loading the artifact."""
+        return all(shard.ready.wait(timeout) for shard in self._shards)
+
+    # -- observability ---------------------------------------------------
+    def stats(self) -> dict:
+        """Front-end counters plus each worker's own ``stats()`` snapshot."""
+        shards = []
+        for shard in self._shards:
+            entry: dict = {
+                "shard": shard.index,
+                "restarts": shard.restarts,
+                "batching": shard.batcher.stats(),
+            }
+            try:
+                entry["worker"] = self._rpc(shard, "stats")
+            except Exception as exc:
+                entry["worker"] = {"error": str(exc)}
+            shards.append(entry)
+        return {
+            "workers": len(self._shards),
+            "requests": self.n_requests,
+            "restarts": sum(s.restarts for s in self._shards),
+            "shards": shards,
+        }
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        """Flush pending micro-batches, then stop workers and supervisor."""
+        if self._closed:
+            return
+        # Flush while revival is still armed: a worker dying mid-drain must
+        # not drop the batch.  Only then stop supervision and the workers.
+        for shard in self._shards:
+            shard.batcher.close()
+        self._closing = True
+        self._stop.set()
+        self._supervisor.join(timeout=2.0)
+        for shard in self._shards:
+            with shard.lock:
+                try:
+                    shard.conn.send((shard.next_id, "shutdown", None))
+                except (OSError, BrokenPipeError):
+                    pass
+            shard.proc.join(timeout=2.0)
+            if shard.proc.is_alive():
+                shard.proc.terminate()
+                shard.proc.join(timeout=1.0)
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+        self._closed = True
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

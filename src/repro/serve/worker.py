@@ -1,0 +1,89 @@
+"""The shard worker process: one serving facade over a mapped artifact.
+
+Each worker is a child process running :func:`run_worker` over one end of a
+duplex pipe.  It loads the shared artifact with ``mmap_mode`` (O(open)
+startup; all workers share one page-cache copy of the weights), wraps it in
+its own :class:`~repro.service.RecommenderService` — private adaptation LRU,
+private counters — and then answers a tiny RPC protocol::
+
+    parent -> worker:  (req_id, kind, payload)
+    worker -> parent:  (req_id, ok, result_or_error)
+
+Kinds: ``batch`` (a flush of :class:`~repro.service.ServeRequest`, answered
+by ``recommend_batch`` — one ``adapt_users`` call per flush, solo scoring
+for bit-identical results), ``register`` / ``invalidate`` (history
+bookkeeping), ``stats``, ``ping`` and ``shutdown``.  Any per-request
+exception is reported back as ``(req_id, False, message)``; the worker only
+exits on ``shutdown`` or a closed pipe, so one bad request never kills the
+shard.
+
+The module is import-light and the entry point takes only picklable
+arguments (path string, a frozen options dataclass), so it is spawn-safe.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+
+import numpy as np
+
+#: req_id of unsolicited worker -> parent control messages (the ready
+#: handshake); real request ids start at 0.
+CONTROL_ID = -1
+
+
+@dataclass(frozen=True)
+class WorkerOptions:
+    """Per-worker serving configuration, pickled into the child process."""
+
+    mmap_mode: str | None = "r"
+    cache_size: int = 256
+    candidate_pool: np.ndarray | None = None
+
+
+def run_worker(conn: Connection, artifact: str, options: WorkerOptions) -> None:
+    """Worker main loop: serve RPCs from ``conn`` until shutdown or EOF."""
+    from repro.service import RecommenderService
+
+    service = RecommenderService.from_artifact(
+        artifact,
+        mmap_mode=options.mmap_mode,
+        cache_size=options.cache_size,
+        candidate_pool=options.candidate_pool,
+    )
+    conn.send((CONTROL_ID, True, {"event": "ready", "pid": os.getpid()}))
+    try:
+        while True:
+            try:
+                req_id, kind, payload = conn.recv()
+            except (EOFError, OSError):
+                break
+            if kind == "shutdown":
+                conn.send((req_id, True, None))
+                break
+            try:
+                result = _handle(service, kind, payload)
+            except Exception as exc:  # report, don't die: the shard lives on
+                conn.send((req_id, False, f"{type(exc).__name__}: {exc}"))
+            else:
+                conn.send((req_id, True, result))
+    finally:
+        conn.close()
+
+
+def _handle(service, kind: str, payload):
+    if kind == "batch":
+        return service.recommend_batch(payload)
+    if kind == "register":
+        service.register_user_history(payload)
+        return None
+    if kind == "invalidate":
+        service.invalidate_user(int(payload))
+        return None
+    if kind == "stats":
+        return {**service.stats(), "pid": os.getpid()}
+    if kind == "ping":
+        return "pong"
+    raise ValueError(f"unknown request kind: {kind!r}")

@@ -16,6 +16,6 @@ from a shell.
 
 from repro.service.batching import MicroBatcher
 from repro.service.cache import LRUCache
-from repro.service.service import RecommenderService
+from repro.service.service import RecommenderService, ServeRequest
 
-__all__ = ["LRUCache", "MicroBatcher", "RecommenderService"]
+__all__ = ["LRUCache", "MicroBatcher", "RecommenderService", "ServeRequest"]

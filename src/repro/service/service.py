@@ -42,6 +42,21 @@ from repro.service.cache import LRUCache
 _MISS = object()
 
 
+@dataclass(frozen=True)
+class ServeRequest:
+    """One ``recommend`` call as data, for batch and cross-process serving.
+
+    The wire unit of the sharded front-end: a flush of these is resolved by
+    :meth:`RecommenderService.recommend_batch` with one batched adaptation
+    pass and per-request solo scoring.
+    """
+
+    user_row: int
+    k: int = 10
+    task: PreferenceTask | None = None
+    exclude_seen: bool = True
+
+
 @dataclass
 class _PendingAdaptation:
     """A cache-missed user riding into a micro-batch flush un-adapted.
@@ -81,6 +96,9 @@ class RecommenderService:
         self._cache_lock = threading.Lock()
         self._tasks: dict[int, PreferenceTask] = {}
         self.n_requests = 0
+        self.n_adapt_batches = 0
+        self.n_adapted_users = 0
+        self._pending_depth = 0
         self._batcher: MicroBatcher | None = None
         if batching:
             self._batcher = MicroBatcher(
@@ -90,9 +108,16 @@ class RecommenderService:
             )
 
     @classmethod
-    def from_artifact(cls, path: str | Path, **kwargs) -> "RecommenderService":
-        """Load a ``Recommender.save`` artifact and wrap it for serving."""
-        return cls(Recommender.load(path), **kwargs)
+    def from_artifact(
+        cls, path: str | Path, mmap_mode: str | None = "r", **kwargs
+    ) -> "RecommenderService":
+        """Load a ``Recommender.save`` artifact and wrap it for serving.
+
+        Memory-maps by default: weights and serving content stay on disk
+        (one shared page-cache copy across processes) and startup is
+        O(open).  Pass ``mmap_mode=None`` for the old eager load.
+        """
+        return cls(Recommender.load(path, mmap_mode=mmap_mode), **kwargs)
 
     # ------------------------------------------------------------------
     def register_user_history(self, task: PreferenceTask) -> None:
@@ -126,11 +151,17 @@ class RecommenderService:
         with self._cache_lock:
             self._cache.put(int(user_row), (task, state))
 
+    def _count_adaptation(self, n_users: int) -> None:
+        with self._cache_lock:
+            self.n_adapt_batches += 1
+            self.n_adapted_users += n_users
+
     def _adapted_state(self, user_row: int, task: PreferenceTask | None):
         hit, state, effective = self._cached_state(user_row, task)
         if hit:
             return state
         state = self.method.adapt_user(effective)
+        self._count_adaptation(1)
         self._store_state(user_row, effective, state)
         return state
 
@@ -150,10 +181,13 @@ class RecommenderService:
         ]
         if pending:
             adapted = self.method.adapt_users([entry.task for _, entry in pending])
+            self._count_adaptation(len(pending))
             states = list(states)
             for (i, entry), state in zip(pending, adapted):
                 states[i] = state
                 self._store_state(entry.user_row, entry.task, state)
+            with self._cache_lock:
+                self._pending_depth -= len(pending)
         return self.method.score_with_state_batch(states, instances)
 
     def _candidates_for(self, user_row: int, exclude_seen: bool) -> np.ndarray:
@@ -196,6 +230,8 @@ class RecommenderService:
             hit, state, effective = self._cached_state(user_row, task)
             if not hit:
                 state = _PendingAdaptation(int(user_row), effective)
+                with self._cache_lock:
+                    self._pending_depth += 1
             scores = self._batcher.score(state, instance)
         else:
             scores = self.method.score_with_state(
@@ -204,6 +240,78 @@ class RecommenderService:
         scores = np.asarray(scores, dtype=float)
         order = np.argsort(-scores, kind="stable")[:k]
         return Recommendation(int(user_row), pool[order], scores[order])
+
+    def recommend_batch(
+        self, requests: list[ServeRequest]
+    ) -> list[Recommendation]:
+        """Serve a flush of requests: batched adaptation, solo scoring.
+
+        Cache-missed users are fine-tuned *together* through one
+        ``adapt_users`` call (for MAML methods one vectorized inner loop
+        over same-width chunks), but every request is then scored through
+        the same ``score_with_state`` call :meth:`recommend` uses — so the
+        results are bit-identical to serving the requests one at a time.
+        This is the shard worker's entry point; prefer
+        :meth:`recommend_many` when tiny ranking differences are acceptable
+        and throughput matters more.
+        """
+        # Replay the sequential cache protocol: per user, an explicit new
+        # task invalidates earlier state, later requests reuse the freshest
+        # adaptation — without adapting anything yet.  ``plan`` holds one
+        # ("state", s) or ("slot", i) entry per request; ``slots`` lists the
+        # distinct (user, task) adaptations in first-need order.
+        plan: list[tuple[str, object]] = []
+        slots: list[tuple[int, PreferenceTask | None]] = []
+        latest: dict[int, tuple[PreferenceTask | None, tuple[str, object]]] = {}
+        for request in requests:
+            key = int(request.user_row)
+            task = request.task
+            if key in latest:
+                prior_task, entry = latest[key]
+                if task is None or task is prior_task:
+                    plan.append(entry)
+                    continue
+            else:
+                hit, state, effective = self._cached_state(key, task)
+                if hit:
+                    entry = ("state", state)
+                    latest[key] = (effective, entry)
+                    plan.append(entry)
+                    continue
+                task = effective
+            entry = ("slot", len(slots))
+            slots.append((key, task))
+            latest[key] = (task, entry)
+            plan.append(entry)
+        adapted: list = []
+        if slots:
+            adapted = self.method.adapt_users([task for _, task in slots])
+            self._count_adaptation(len(slots))
+            for (user, task), state in zip(slots, adapted):
+                self._store_state(user, task, state)
+        self.n_requests += len(requests)
+        results = []
+        empty = np.array([], dtype=int)
+        for request, (kind, value) in zip(requests, plan):
+            user = int(request.user_row)
+            if request.k <= 0:
+                raise ValueError("k must be positive")
+            pool = self._candidates_for(user, request.exclude_seen)
+            if pool.size == 0:
+                results.append(
+                    Recommendation(user, empty, np.array([], dtype=float))
+                )
+                continue
+            instance = EvalInstance(
+                user_row=user, pos_item=int(pool[0]), neg_items=pool[1:]
+            )
+            state = value if kind == "state" else adapted[value]
+            scores = np.asarray(
+                self.method.score_with_state(state, instance), dtype=float
+            )
+            order = np.argsort(-scores, kind="stable")[: request.k]
+            results.append(Recommendation(user, pool[order], scores[order]))
+        return results
 
     def recommend_many(
         self,
@@ -225,6 +333,7 @@ class RecommenderService:
         fresh: dict[int, object] = {}
         if misses:
             adapted = self.method.adapt_users(list(misses.values()))
+            self._count_adaptation(len(misses))
             fresh = dict(zip(misses, adapted))
             for user, task in misses.items():
                 self._store_state(user, task, fresh[user])
@@ -261,8 +370,23 @@ class RecommenderService:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Request, cache and batching counters for observability."""
-        out = {"requests": self.n_requests, "cache": self._cache.stats()}
+        """Request, cache, adaptation and batching counters.
+
+        ``adaptation.pending`` is the number of cache-missed requests
+        currently waiting for a micro-batch flush to fine-tune them — the
+        cold-start backlog depth at this instant.
+        """
+        with self._cache_lock:
+            adaptation = {
+                "batches": self.n_adapt_batches,
+                "users": self.n_adapted_users,
+                "pending": self._pending_depth,
+            }
+        out = {
+            "requests": self.n_requests,
+            "cache": self._cache.stats(),
+            "adaptation": adaptation,
+        }
         if self._batcher is not None:
             out["batching"] = self._batcher.stats()
         return out

@@ -59,6 +59,77 @@ class TestParamsSerialization:
             model.predict(params, cu, ci), model.predict(loaded, cu, ci)
         )
 
+    def test_save_returns_resolved_path_and_appends_suffix(self, tmp_path):
+        params = {"x": np.ones(3)}
+        returned = save_params(tmp_path / "model.weights", params)
+        assert returned == tmp_path / "model.weights.npz"
+        assert returned.exists()
+        returned = save_params(tmp_path / "plain.npz", params)
+        assert returned == tmp_path / "plain.npz"
+
+    def test_save_is_atomic_no_temp_leftovers(self, tmp_path):
+        save_params(tmp_path / "w.npz", {"x": np.arange(4.0)})
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "w.npz"]
+        assert leftovers == []
+
+
+class TestMmapLoading:
+    @staticmethod
+    def _params():
+        rng = np.random.default_rng(0)
+        return {
+            "enc.W": rng.normal(size=(16, 8)),
+            "small": np.arange(6, dtype=np.float32),
+            "fortran": np.asfortranarray(rng.normal(size=(5, 4))),
+            "flags": np.array([1, 0, 1], dtype=np.uint8),
+        }
+
+    def test_mmap_roundtrip_bitwise(self, tmp_path):
+        params = self._params()
+        path = save_params(tmp_path / "w.npz", params, config={"k": 2})
+        mapped, config = load_params(path, mmap_mode="r")
+        assert config == {"k": 2}
+        for name, value in params.items():
+            assert isinstance(mapped[name], np.memmap), name
+            np.testing.assert_array_equal(value, mapped[name])
+            assert mapped[name].dtype == value.dtype
+
+    def test_mmap_preserves_memory_order(self, tmp_path):
+        path = save_params(tmp_path / "w.npz", self._params())
+        mapped, _ = load_params(path, mmap_mode="r")
+        assert mapped["fortran"].flags.f_contiguous
+        assert mapped["enc.W"].flags.c_contiguous
+
+    def test_mmap_is_read_only(self, tmp_path):
+        path = save_params(tmp_path / "w.npz", self._params())
+        mapped, _ = load_params(path, mmap_mode="r")
+        with pytest.raises(ValueError):
+            mapped["small"][0] = 99.0
+
+    def test_copy_on_write_does_not_touch_artifact(self, tmp_path):
+        path = save_params(tmp_path / "w.npz", self._params())
+        cow, _ = load_params(path, mmap_mode="c")
+        cow["small"][0] = 99.0
+        fresh, _ = load_params(path, mmap_mode="r")
+        assert fresh["small"][0] == 0.0
+
+    def test_rejects_writable_modes(self, tmp_path):
+        path = save_params(tmp_path / "w.npz", self._params())
+        with pytest.raises(ValueError, match="mmap_mode"):
+            load_params(path, mmap_mode="r+")
+
+    def test_compressed_archive_falls_back_to_eager(self, tmp_path):
+        # np.savez_compressed members cannot be mapped; the loader must
+        # still return correct (eager) arrays rather than fail.
+        params = self._params()
+        path = tmp_path / "c.npz"
+        np.savez_compressed(path, **params)
+        loaded, config = load_params(path, mmap_mode="r")
+        assert config is None
+        for name, value in params.items():
+            assert not isinstance(loaded[name], np.memmap)
+            np.testing.assert_array_equal(value, loaded[name])
+
 
 class TestDatasetIO:
     def test_roundtrip(self, tmp_path, tiny_dataset):

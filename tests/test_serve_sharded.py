@@ -1,0 +1,342 @@
+"""Sharded multi-worker serving: equivalence, zero-copy, supervision.
+
+The load-bearing guarantee tested here: :class:`ShardedService` (N worker
+processes, coalesced flushes, per-shard LRUs) answers **bit-identically**
+to the single-process :class:`RecommenderService` serving the same request
+stream sequentially.  That holds because (a) `adapt_corpus` chunks are cut
+at support-width boundaries, so a user's fast weights don't depend on which
+other users share a flush, and (b) the worker scores every request through
+the same solo ``score_with_state`` path ``recommend`` uses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.interface import Recommender
+from repro.data.splits import Scenario
+from repro.registry import build_method
+from repro.serve import ShardedService, run_open_loop, zipfian_users
+from repro.serve.loadgen import zipf_probabilities
+from repro.service import RecommenderService
+
+
+@pytest.fixture(scope="module")
+def artifact(bench_experiment, tmp_path_factory):
+    """A saved tiny-budget MetaDPA artifact and its cold-user task pool."""
+    method = build_method(
+        {"name": "MetaDPA", "profile": "fast", "cvae_epochs": 2, "meta_epochs": 1},
+        seed=0,
+    )
+    method.fit(bench_experiment.ctx)
+    path = method.save(tmp_path_factory.mktemp("serve") / "metadpa.npz")
+    tasks = {
+        int(t.user_row): t for t in bench_experiment.task_sets[Scenario.C_U]
+    }
+    return str(path), tasks
+
+
+def _mmap_backed(array: np.ndarray) -> bool:
+    while array is not None:
+        if isinstance(array, np.memmap):
+            return True
+        array = getattr(array, "base", None)
+    return False
+
+
+class TestZeroCopyArtifacts:
+    def test_mmap_load_materializes_nothing(self, artifact):
+        path, _ = artifact
+        method = Recommender.load(path, mmap_mode="r")
+        assert all(_mmap_backed(v) for v in method.maml.params.values())
+        serving = method.serving
+        assert _mmap_backed(serving.user_content)
+        assert _mmap_backed(serving.item_content)
+        assert _mmap_backed(serving.seen)
+
+    def test_packed_content_shares_mapped_blobs(self, artifact):
+        # The artifact stores serving content float32 C-contiguous, exactly
+        # what pack_content wants — the packed scoring path must reuse the
+        # mapped blob by reference, not copy it.
+        path, _ = artifact
+        method = Recommender.load(path, mmap_mode="r")
+        packed = method._packed_content()
+        serving = method.serving
+        assert packed.user.dtype == np.float32
+        assert packed.user is serving.user_content or packed.user.base is serving.user_content
+        assert packed.item is serving.item_content or packed.item.base is serving.item_content
+
+    def test_mapped_params_are_read_only(self, artifact):
+        path, _ = artifact
+        method = Recommender.load(path, mmap_mode="r")
+        name, value = next(iter(method.maml.params.items()))
+        with pytest.raises(ValueError):
+            value[...] = 0.0
+
+    def test_service_from_artifact_maps_by_default(self, artifact):
+        path, _ = artifact
+        service = RecommenderService.from_artifact(path)
+        assert all(
+            _mmap_backed(v) for v in service.method.maml.params.values()
+        )
+
+    def test_eager_load_still_available(self, artifact):
+        path, _ = artifact
+        method = Recommender.load(path, mmap_mode=None)
+        assert not any(_mmap_backed(v) for v in method.maml.params.values())
+
+
+class TestShardedEquivalence:
+    def test_bit_identical_to_single_process(self, artifact):
+        """The acceptance bar: same artifact, same stream, same bits."""
+        path, tasks = artifact
+        users = sorted(tasks)[:10]
+        stream = zipfian_users(users, 48, alpha=1.1, seed=5).tolist()
+
+        reference = RecommenderService.from_artifact(path)
+        for user in users:
+            reference.register_user_history(tasks[user])
+        expected = [reference.recommend(u, k=7) for u in stream]
+
+        with ShardedService(path, n_workers=3, max_wait_ms=5.0) as service:
+            assert service.wait_ready(timeout=60.0)
+            for user in users:
+                service.register_user_history(tasks[user])
+            futures = [service.submit(u, k=7) for u in stream]
+            results = [f.result(timeout=60.0) for f in futures]
+
+        for want, got in zip(expected, results):
+            assert got.user_row == want.user_row
+            assert np.array_equal(want.items, got.items)
+            assert np.array_equal(want.scores, got.scores)
+
+    def test_recommend_many_round_trips_all_shards(self, artifact):
+        path, tasks = artifact
+        users = sorted(tasks)[:6]
+        with ShardedService(path, n_workers=2, max_wait_ms=2.0) as service:
+            results = service.recommend_many(users, k=5)
+        assert [r.user_row for r in results] == users
+        assert all(len(r) == 5 for r in results)
+
+    def test_concurrent_producers_match_reference(self, artifact):
+        """Many threads racing into the dispatcher still get exact answers."""
+        path, tasks = artifact
+        users = sorted(tasks)[:8]
+        reference = RecommenderService.from_artifact(path)
+        for user in users:
+            reference.register_user_history(tasks[user])
+        expected = {u: reference.recommend(u, k=5) for u in users}
+
+        with ShardedService(path, n_workers=2, max_wait_ms=10.0) as service:
+            for user in users:
+                service.register_user_history(tasks[user])
+            results: dict[int, object] = {}
+            errors: list[Exception] = []
+
+            def produce(user: int) -> None:
+                try:
+                    for _ in range(3):
+                        results[user] = service.recommend(user, k=5)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=produce, args=(u,)) for u in users
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60.0)
+        assert not errors
+        for user in users:
+            assert np.array_equal(results[user].items, expected[user].items)
+            assert np.array_equal(results[user].scores, expected[user].scores)
+
+
+class TestColdStartBatching:
+    def test_one_adapt_call_per_flush(self, artifact):
+        """A mixed cached/uncached burst costs exactly one adapt_users RPC."""
+        path, tasks = artifact
+        users = sorted(tasks)[:8]
+        with ShardedService(path, n_workers=1, max_wait_ms=100.0) as service:
+            assert service.wait_ready(timeout=60.0)
+            for user in users:
+                service.register_user_history(tasks[user])
+            # Warm half the users (one flush), then burst hot+cold mixed.
+            warm = service.recommend_many(users[:4], k=5)
+            assert len(warm) == 4
+            before = service.stats()["shards"][0]["worker"]["adaptation"]
+            futures = [service.submit(u, k=5) for u in users]
+            for future in futures:
+                future.result(timeout=60.0)
+            after = service.stats()["shards"][0]["worker"]["adaptation"]
+        assert after["batches"] - before["batches"] == 1
+        assert after["users"] - before["users"] == 4  # only the cold half
+        assert after["pending"] == 0
+
+    def test_per_shard_caches_and_stats_propagate(self, artifact):
+        path, tasks = artifact
+        # Mixed parity so both shards own traffic under user % 2 routing.
+        even = [u for u in sorted(tasks) if u % 2 == 0][:3]
+        odd = [u for u in sorted(tasks) if u % 2 == 1][:3]
+        users = even + odd
+        assert even and odd
+        with ShardedService(path, n_workers=2, max_wait_ms=2.0) as service:
+            for user in users:
+                service.register_user_history(tasks[user])
+            service.recommend_many(users, k=5)
+            service.recommend_many(users, k=5)  # second pass: cache hits
+            stats = service.stats()
+        assert stats["workers"] == 2
+        assert stats["requests"] == 2 * len(users)
+        assert len(stats["shards"]) == 2
+        for entry in stats["shards"]:
+            worker = entry["worker"]
+            assert {"cache", "adaptation", "requests"} <= set(worker)
+            # Each shard owns a disjoint user slice and cached it.
+            assert worker["cache"]["hits"] >= 1
+            assert worker["adaptation"]["pending"] == 0
+
+    def test_invalidate_forces_readaptation(self, artifact):
+        path, tasks = artifact
+        user = sorted(tasks)[0]
+        with ShardedService(path, n_workers=1, max_wait_ms=2.0) as service:
+            service.register_user_history(tasks[user])
+            service.recommend(user, k=5)
+            before = service.stats()["shards"][0]["worker"]["adaptation"]["users"]
+            service.recommend(user, k=5)  # cached: no new adaptation
+            service.invalidate_user(user)
+            service.recommend(user, k=5)  # re-adapts
+            after = service.stats()["shards"][0]["worker"]["adaptation"]["users"]
+        assert after - before == 1
+
+
+class TestSupervision:
+    def test_dead_worker_restarts_with_cleared_cache(self, artifact):
+        path, tasks = artifact
+        user = sorted(tasks)[0]
+        with ShardedService(
+            path, n_workers=2, max_wait_ms=2.0, heartbeat_interval=0.05
+        ) as service:
+            assert service.wait_ready(timeout=60.0)
+            service.register_user_history(tasks[user])
+            first = service.recommend(user, k=5)
+            shard = service._shards[service.shard_of(user)]
+            pid_before = shard.proc.pid
+            shard.proc.kill()
+            deadline = time.monotonic() + 10.0
+            while shard.restarts == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            second = service.recommend(user, k=5)
+            stats = service.stats()
+        assert stats["restarts"] >= 1
+        owner = stats["shards"][service.shard_of(user)]
+        assert owner["worker"]["pid"] != pid_before
+        # The replacement starts with a cleared cache: its first answer for
+        # the user re-adapted from scratch rather than reusing stale state.
+        assert owner["worker"]["cache"]["size"] <= 1
+        assert len(first) == len(second) == 5
+
+    def test_restart_reproduces_bits_after_reregistration(self, artifact):
+        path, tasks = artifact
+        user = sorted(tasks)[0]
+        with ShardedService(
+            path, n_workers=1, max_wait_ms=2.0, heartbeat_interval=0.05
+        ) as service:
+            service.register_user_history(tasks[user])
+            first = service.recommend(user, k=5)
+            service._shards[0].proc.kill()
+            deadline = time.monotonic() + 10.0
+            while service._shards[0].restarts == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            service.register_user_history(tasks[user])
+            second = service.recommend(user, k=5)
+        assert np.array_equal(first.items, second.items)
+        assert np.array_equal(first.scores, second.scores)
+
+    def test_mid_burst_kill_resubmits_inflight_requests(self, artifact):
+        path, tasks = artifact
+        users = sorted(tasks)
+        with ShardedService(
+            path, n_workers=2, max_wait_ms=2.0, heartbeat_interval=0.05
+        ) as service:
+            assert service.wait_ready(timeout=60.0)
+            futures = [service.submit(u, k=5) for u in users * 3]
+            service._shards[0].proc.kill()
+            results = [f.result(timeout=60.0) for f in futures]
+        assert len(results) == 3 * len(users)
+        assert all(len(r) == 5 for r in results)
+
+    def test_close_mid_burst_flushes_rather_than_drops(self, artifact):
+        path, tasks = artifact
+        users = sorted(tasks)[:8]
+        service = ShardedService(path, n_workers=2, max_wait_ms=500.0)
+        assert service.wait_ready(timeout=60.0)
+        futures = [service.submit(u, k=5) for u in users]
+        # Close immediately: the 500ms coalescing window has not elapsed,
+        # so every future is still pending inside the batchers.
+        service.close()
+        for future in futures:
+            result = future.result(timeout=5.0)
+            assert len(result) == 5
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(users[0], k=5)
+
+    def test_spawn_start_method_serves(self, artifact):
+        path, _ = artifact
+        reference = RecommenderService.from_artifact(path)
+        with ShardedService(
+            path, n_workers=1, start_method="spawn", max_wait_ms=2.0
+        ) as service:
+            assert service.wait_ready(timeout=120.0)
+            got = service.recommend(3, k=5)
+        want = reference.recommend(3, k=5)
+        assert np.array_equal(want.items, got.items)
+        assert np.array_equal(want.scores, got.scores)
+
+
+class TestLoadGenerator:
+    def test_zipf_probabilities_normalized_and_skewed(self):
+        p = zipf_probabilities(100, alpha=1.1)
+        assert p.shape == (100,)
+        assert np.isclose(p.sum(), 1.0)
+        assert np.all(np.diff(p) < 0)  # strictly hotter head
+
+    def test_zipfian_users_deterministic_and_bounded(self):
+        pool = [7, 11, 13, 17]
+        a = zipfian_users(pool, 200, alpha=1.2, seed=3)
+        b = zipfian_users(pool, 200, alpha=1.2, seed=3)
+        assert np.array_equal(a, b)
+        assert set(a) <= set(pool)
+        # Rank-0 user dominates under heavy skew.
+        assert (a == 7).sum() > (a == 17).sum()
+
+    def test_run_open_loop_reports_latency_and_qps(self):
+        from concurrent.futures import Future
+
+        def instant_submit(user: int) -> Future:
+            future: Future = Future()
+            future.set_result(user)
+            return future
+
+        report = run_open_loop(instant_submit, [1, 2, 3, 4], rate=1000.0)
+        assert report.n_requests == 4
+        assert report.qps > 0
+        assert report.percentile(99) >= report.percentile(50) >= 0.0
+        payload = report.to_dict()
+        assert {"qps", "p50_ms", "p99_ms", "elapsed_s"} <= set(payload)
+
+    def test_open_loop_against_sharded_service(self, artifact):
+        path, tasks = artifact
+        users = sorted(tasks)[:8]
+        with ShardedService(path, n_workers=2, max_wait_ms=2.0) as service:
+            assert service.wait_ready(timeout=60.0)
+            stream = zipfian_users(users, 30, alpha=1.1, seed=2)
+            report = run_open_loop(service.submit, stream, rate=500.0)
+        assert report.n_requests == 30
+        assert np.isfinite(report.latencies).all()
+        assert report.percentile(50) > 0

@@ -9,7 +9,7 @@ from repro.core.interface import Recommender, training_visibility
 from repro.data.negative_sampling import EvalInstance
 from repro.data.splits import Scenario
 from repro.registry import build_method
-from repro.service import LRUCache, MicroBatcher, RecommenderService
+from repro.service import LRUCache, MicroBatcher, RecommenderService, ServeRequest
 
 #: tiny budgets: the lifecycle under test is fit → save → load → recommend,
 #: not model quality.
@@ -324,6 +324,144 @@ class TestRecommenderService:
         service = RecommenderService.from_artifact(path)
         result = service.recommend(0, k=5)
         assert np.array_equal(result.items, fitted_melu.recommend(0, k=5).items)
+
+
+class _CountingBatchMethod(_CountingMethod):
+    """Also count the coalesced ``adapt_users`` entry point."""
+
+    def __init__(self, method):
+        super().__init__(method)
+        self.adapt_users_calls = 0
+        self.adapted_users = 0
+
+    def adapt_users(self, tasks):
+        self.adapt_users_calls += 1
+        self.adapted_users += len(tasks)
+        return self._method.adapt_users(tasks)
+
+
+class TestRecommendBatch:
+    @staticmethod
+    def _cold_tasks(bench_experiment, n):
+        tasks = list(bench_experiment.task_sets[Scenario.C_U])
+        assert len(tasks) >= n
+        return tasks[:n]
+
+    def test_matches_sequential_bitwise(self, fitted_melu, bench_experiment):
+        from dataclasses import replace
+
+        tasks = self._cold_tasks(bench_experiment, 4)
+        # Duplicates, warm users, and a mid-stream history refresh: the
+        # batch plan must replay exactly what sequential serving would do.
+        stream = [
+            ServeRequest(tasks[0].user_row, k=6),
+            ServeRequest(0, k=6),
+            ServeRequest(tasks[1].user_row, k=6),
+            ServeRequest(tasks[0].user_row, k=6),
+            ServeRequest(tasks[2].user_row, k=6, task=replace(tasks[2])),
+            ServeRequest(1, k=6),
+            ServeRequest(tasks[3].user_row, k=6),
+            ServeRequest(tasks[2].user_row, k=6),
+        ]
+        sequential = RecommenderService(fitted_melu, cache_size=16)
+        batched = RecommenderService(fitted_melu, cache_size=16)
+        for service in (sequential, batched):
+            for task in tasks:
+                service.register_user_history(task)
+        reference = [
+            sequential.recommend(
+                r.user_row, k=r.k, task=r.task, exclude_seen=r.exclude_seen
+            )
+            for r in stream
+        ]
+        results = batched.recommend_batch(stream)
+        for want, got in zip(reference, results):
+            np.testing.assert_array_equal(want.items, got.items)
+            np.testing.assert_array_equal(want.scores, got.scores)
+
+    def test_single_adapt_users_call_for_mixed_burst(
+        self, fitted_melu, bench_experiment
+    ):
+        tasks = self._cold_tasks(bench_experiment, 4)
+        counting = _CountingBatchMethod(fitted_melu)
+        service = RecommenderService(counting, cache_size=16)
+        for task in tasks:
+            service.register_user_history(task)
+        # Warm half the users through the solo path, then serve a burst
+        # mixing cached, cold, and duplicate-cold users.
+        for task in tasks[:2]:
+            service.recommend(task.user_row, k=5)
+        burst = [ServeRequest(t.user_row, k=5) for t in tasks]
+        burst.append(ServeRequest(tasks[3].user_row, k=5))  # duplicate cold
+        service.recommend_batch(burst)
+        # Exactly one coalesced adaptation covering only the 2 cold users;
+        # the duplicate reused the freshly adapted state within the batch.
+        assert counting.adapt_users_calls == 1
+        assert counting.adapted_users == 2
+
+    def test_stats_expose_adaptation_counters(
+        self, fitted_melu, bench_experiment
+    ):
+        tasks = self._cold_tasks(bench_experiment, 3)
+        service = RecommenderService(fitted_melu, cache_size=16)
+        for task in tasks:
+            service.register_user_history(task)
+        before = service.stats()["adaptation"]
+        assert before == {"batches": 0, "users": 0, "pending": 0}
+        service.recommend_batch([ServeRequest(t.user_row, k=5) for t in tasks])
+        after = service.stats()["adaptation"]
+        assert after["batches"] == 1
+        assert after["users"] == 3
+        assert after["pending"] == 0
+
+    def test_batching_service_one_adapt_users_per_flush(
+        self, fitted_melu, bench_experiment
+    ):
+        import threading
+
+        tasks = self._cold_tasks(bench_experiment, 6)
+        counting = _CountingBatchMethod(fitted_melu)
+        reference = RecommenderService(fitted_melu, cache_size=16)
+        with RecommenderService(
+            counting, batching=True, cache_size=16, max_wait_ms=250.0
+        ) as service:
+            for task in tasks:
+                service.register_user_history(task)
+                reference.register_user_history(task)
+            # Warm 3 users one at a time (each blocking call is its own
+            # flush), then burst all 6 concurrently into a single flush.
+            for task in tasks[:3]:
+                service.recommend(task.user_row, k=5)
+            calls_before = counting.adapt_users_calls
+            batches_before = service.stats()["adaptation"]["batches"]
+            results: dict[int, object] = {}
+
+            def request(user):
+                results[user] = service.recommend(user, k=5)
+
+            threads = [
+                threading.Thread(target=request, args=(t.user_row,))
+                for t in tasks
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = service.stats()
+        # One flush resolved the whole burst: a single adapt_users call
+        # fine-tuned exactly the 3 cache-missed users, and the pending
+        # depth drained back to zero.
+        assert counting.adapt_users_calls == calls_before + 1
+        assert stats["adaptation"]["batches"] == batches_before + 1
+        assert stats["adaptation"]["pending"] == 0
+        for task in tasks:
+            want = reference.recommend(task.user_row, k=5)
+            got = results[task.user_row]
+            np.testing.assert_array_equal(want.items, got.items)
+            # The coalesced flush scores through the batched kernel, which
+            # matches solo serving to float tolerance (recommend_batch is
+            # the bit-identical path; see test_matches_sequential_bitwise).
+            np.testing.assert_allclose(want.scores, got.scores, rtol=1e-5)
 
 
 class TestMicroBatcher:
