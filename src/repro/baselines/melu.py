@@ -23,6 +23,7 @@ from repro.meta.maml import (
     MAMLConfig,
     adapt_task_states,
     batched_candidate_scores,
+    stream_refresh,
     subsample_support,
 )
 from repro.meta.model import PreferenceModel, PreferenceModelConfig
@@ -55,11 +56,13 @@ class MeLU(PackedContentMixin, Recommender):
         self.maml: MAML | None = None
         self._ctx: FitContext | None = None
         self._content: PackedContent | None = None
+        self._stream_corpus = None
         self.meta_loss_history: list[float] = []
 
     def fit(self, ctx: FitContext) -> "MeLU":
         self._ctx = ctx
         self._content = None
+        self._stream_corpus = None
         self.attach_serving(ctx)
         domain = ctx.domain
         maml_rng, _ = spawn_rngs(self.seed, 2)
@@ -104,6 +107,20 @@ class MeLU(PackedContentMixin, Recommender):
             tasks,
             self.finetune_steps,
         )
+
+    def meta_refresh(self, tasks, meta_lr: float = 0.1, steps: int | None = None):
+        """Reptile-refresh the meta-initialization from observed tasks."""
+        if self.maml is None:
+            raise RuntimeError("fit() must be called before meta_refresh()")
+        self._stream_corpus, info = stream_refresh(
+            self.maml,
+            self._packed_content(),
+            tasks,
+            corpus=self._stream_corpus,
+            meta_lr=meta_lr,
+            steps=self.finetune_steps if steps is None else steps,
+        )
+        return info
 
     def score_with_state(
         self,

@@ -224,6 +224,29 @@ class Recommender(abc.ABC):
         """
         return [self.adapt_user(task) for task in tasks]
 
+    def meta_refresh(
+        self,
+        tasks: list[PreferenceTask | None],
+        meta_lr: float = 0.1,
+        steps: int | None = None,
+    ) -> dict:
+        """Nudge the shared initialization from freshly observed tasks.
+
+        The streaming counterpart of :meth:`fit`: meta-learners override it
+        with a cheap reptile-style update over the appended tasks (O(tail),
+        no full retrain), after which previously adapted per-user states
+        are stale and should be invalidated by the caller.  Returns a small
+        info dict (``n_tasks``, ``delta_rms``).  Methods without a shared
+        initialization have nothing to refresh and raise.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support meta-refresh"
+        )
+
+    def supports_meta_refresh(self) -> bool:
+        """Whether this method implements :meth:`meta_refresh`."""
+        return type(self).meta_refresh is not Recommender.meta_refresh
+
     def score_with_state(
         self,
         state: Any,

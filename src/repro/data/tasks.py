@@ -13,6 +13,7 @@ those views without duplicating the index arrays.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -57,6 +58,67 @@ class PreferenceTask:
             support_labels=rating_vector[self.support_items],
             query_labels=rating_vector[self.query_items],
         )
+
+
+def task_fingerprint(task: PreferenceTask) -> bytes:
+    """Value fingerprint of a task: equal content ⇒ equal digest.
+
+    Serving caches key adaptation state on this instead of object identity
+    — a task pickled across a shard worker Pipe is a different object with
+    the same bytes, and must hit the cache.  Dtypes are hashed alongside
+    the raw bytes so e.g. int32 and int64 item arrays never collide.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(int(task.user_row).to_bytes(8, "little", signed=True))
+    for arr in (
+        task.support_items,
+        task.support_labels,
+        task.query_items,
+        task.query_labels,
+    ):
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(a.shape[0].to_bytes(8, "little"))
+        h.update(a.tobytes())
+    return h.digest()
+
+
+def append_interaction(
+    task: PreferenceTask | None,
+    user_row: int,
+    item_row: int,
+    rating: float,
+) -> PreferenceTask:
+    """Fold one observed ``(user, item, rating)`` event into a support task.
+
+    ``None`` starts a fresh single-interaction task (cold user with no
+    registered history); an already-supported item has its label replaced
+    (re-rating) instead of growing the support set; otherwise the item is
+    appended.  The query side is never touched — observed events are
+    training signal, not held-out evaluation rows.
+    """
+    if task is None:
+        return PreferenceTask(
+            user_row=int(user_row),
+            support_items=np.asarray([item_row], dtype=int),
+            support_labels=np.asarray([rating], dtype=float),
+            query_items=np.empty(0, dtype=int),
+            query_labels=np.empty(0, dtype=float),
+        )
+    if int(task.user_row) != int(user_row):
+        raise ValueError(
+            f"event user {user_row} does not match task user {task.user_row}"
+        )
+    hit = np.flatnonzero(task.support_items == item_row)
+    if hit.size:
+        labels = task.support_labels.copy()
+        labels[hit] = rating
+        return replace(task, support_labels=labels)
+    return replace(
+        task,
+        support_items=np.append(task.support_items, item_row),
+        support_labels=np.append(task.support_labels, rating),
+    )
 
 
 @dataclass

@@ -3,6 +3,13 @@
 from repro.eval.metrics import MetricSet, auc, hit_ratio, mrr, ndcg, rank_of_positive
 from repro.eval.protocol import EvaluationResult, evaluate_method, evaluate_scenarios
 from repro.eval.significance import SignificanceResult, wilcoxon_one_sided
+from repro.eval.temporal import (
+    ObserveEvent,
+    TemporalEvalReport,
+    compare_refresh_cadence,
+    evaluate_stream,
+    split_task_stream,
+)
 
 __all__ = [
     "MetricSet",
@@ -16,4 +23,9 @@ __all__ = [
     "evaluate_scenarios",
     "SignificanceResult",
     "wilcoxon_one_sided",
+    "ObserveEvent",
+    "TemporalEvalReport",
+    "compare_refresh_cadence",
+    "evaluate_stream",
+    "split_task_stream",
 ]

@@ -133,6 +133,18 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="skew the workload Zipfian(alpha) instead of uniform",
     )
+    p.add_argument(
+        "--write-frac",
+        type=float,
+        default=0.0,
+        help="fraction of requests that are observe (write) events",
+    )
+    p.add_argument(
+        "--refresh-every",
+        type=int,
+        default=0,
+        help="meta-refresh after every N observed events (0 = never)",
+    )
 
     # -- experiment grids ----------------------------------------------
     p = sub.add_parser("grid", help="sharded, resumable experiment grids")
@@ -235,40 +247,73 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     from repro.core.interface import Recommender
     from repro.service import RecommenderService
-    from repro.serve import ShardedService, zipfian_users
+    from repro.serve import ShardedService, mixed_zipfian_stream, zipfian_users
     from repro.utils.timing import Timer
 
     if args.workers > 0:
         service = ShardedService(
-            args.artifact, n_workers=args.workers, cache_size=args.cache_size
+            args.artifact,
+            n_workers=args.workers,
+            cache_size=args.cache_size,
+            refresh_every=args.refresh_every,
         )
         service.wait_ready(timeout=120.0)
-        n_users = Recommender.load(args.artifact, mmap_mode="r").serving.n_users
+        serving = Recommender.load(args.artifact, mmap_mode="r").serving
     else:
         service = RecommenderService.from_artifact(
-            args.artifact, cache_size=args.cache_size, batching=args.batch
+            args.artifact,
+            cache_size=args.cache_size,
+            batching=args.batch,
+            refresh_every=args.refresh_every,
         )
-        n_users = service.method.serving.n_users
+        serving = service.method.serving
+    n_users, n_items = serving.n_users, serving.n_items
     rng = np.random.default_rng(args.seed)
     users = rng.integers(0, n_users, size=min(args.distinct_users, n_users))
-    if args.zipf_alpha is not None:
-        workload = zipfian_users(
-            users, args.requests, alpha=args.zipf_alpha, seed=args.seed
+    if args.write_frac > 0:
+        ops = mixed_zipfian_stream(
+            users,
+            range(n_items),
+            args.requests,
+            write_frac=args.write_frac,
+            alpha=args.zipf_alpha if args.zipf_alpha is not None else 1.1,
+            seed=args.seed,
         )
     else:
-        workload = rng.choice(users, size=args.requests)
+        if args.zipf_alpha is not None:
+            workload = zipfian_users(
+                users, args.requests, alpha=args.zipf_alpha, seed=args.seed
+            )
+        else:
+            workload = rng.choice(users, size=args.requests)
+        ops = None
     mode = f"workers={args.workers}" if args.workers > 0 else f"batching={args.batch}"
     print(
         f"Replaying {args.requests} requests over {users.size} users "
-        f"(cache_size={args.cache_size}, {mode}) ..."
+        f"(cache_size={args.cache_size}, write_frac={args.write_frac}, "
+        f"{mode}) ..."
     )
     with Timer() as timer:
         if args.workers > 0:
             # Submit the whole stream so concurrent requests coalesce into
             # per-shard micro-batches, then drain.
-            futures = [service.submit(int(user), k=args.k) for user in workload]
+            if ops is not None:
+                futures = [
+                    service.observe_async(op.user_row, op.item_row, op.rating)
+                    if op.kind == "write"
+                    else service.submit(op.user_row, k=args.k)
+                    for op in ops
+                ]
+            else:
+                futures = [service.submit(int(user), k=args.k) for user in workload]
             for future in futures:
                 future.result()
+        elif ops is not None:
+            for op in ops:
+                if op.kind == "write":
+                    service.observe(op.user_row, op.item_row, op.rating)
+                else:
+                    service.recommend(op.user_row, k=args.k)
         else:
             for user in workload:
                 service.recommend(int(user), k=args.k)

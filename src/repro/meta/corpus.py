@@ -59,6 +59,33 @@ class PackedContent:
     def dim(self) -> int:
         return self.user.shape[1]
 
+    def extend(
+        self,
+        user: np.ndarray | None = None,
+        item: np.ndarray | None = None,
+    ) -> "PackedContent":
+        """Return a new :class:`PackedContent` with extra content rows.
+
+        ``PackedContent`` is frozen (corpora and services alias its arrays),
+        so growth is copy-on-extend: existing rows keep their indices, new
+        rows take the next ones.  Passing ``None`` for a side keeps it
+        shared by reference.
+        """
+
+        def grow(base: np.ndarray, extra: np.ndarray | None) -> np.ndarray:
+            if extra is None:
+                return base
+            rows = np.ascontiguousarray(
+                np.atleast_2d(np.asarray(extra)), dtype=base.dtype
+            )
+            if rows.shape[1] != base.shape[1]:
+                raise ValueError(
+                    f"content dim mismatch: {rows.shape[1]} != {base.shape[1]}"
+                )
+            return np.concatenate([base, rows], axis=0)
+
+        return PackedContent(user=grow(self.user, user), item=grow(self.item, item))
+
 
 def pack_content(
     user_content: np.ndarray,
@@ -149,6 +176,45 @@ def _widths_to_buckets(widths: np.ndarray) -> np.ndarray:
     return np.frexp(np.maximum(widths, 0))[1]
 
 
+class _GrowableArray:
+    """Amortized-O(1) appendable pool: a capacity buffer plus a live prefix.
+
+    The initial array is adopted zero-copy (the live prefix aliases it until
+    the first growth), so a corpus that is never appended to keeps exactly
+    the builder's packed arrays.  Growth doubles capacity; prefix views
+    handed out *before* a growth keep aliasing the old buffer, so consumers
+    must re-read pools through the corpus properties after an append.
+    """
+
+    __slots__ = ("_buf", "_size")
+
+    def __init__(self, initial: np.ndarray, dtype: np.dtype | type):
+        arr = np.asarray(initial, dtype=dtype)
+        self._buf = arr
+        self._size = arr.shape[0]
+
+    @property
+    def view(self) -> np.ndarray:
+        return self._buf[: self._size]
+
+    def append(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=self._buf.dtype)
+        n = values.shape[0]
+        needed = self._size + n
+        if needed > self._buf.shape[0]:
+            capacity = max(needed, 2 * self._buf.shape[0], 8)
+            grown = np.empty(
+                (capacity, *self._buf.shape[1:]), dtype=self._buf.dtype
+            )
+            grown[: self._size] = self._buf[: self._size]
+            self._buf = grown
+        self._buf[self._size : needed] = values
+        self._size = needed
+
+    def append_scalar(self, value: int) -> None:
+        self.append(np.asarray([value]))
+
+
 class TaskCorpus:
     """All meta-training tasks packed once; built by :class:`TaskCorpusBuilder`."""
 
@@ -167,18 +233,97 @@ class TaskCorpus:
         query_label_offsets: np.ndarray,
     ):
         self.content = content
-        self.user_rows = user_rows
-        self.support_items = support_items
-        self.support_offsets = support_offsets
-        self.query_items = query_items
-        self.query_offsets = query_offsets
-        self.view_base = view_base
-        self.support_labels = support_labels
-        self.support_label_offsets = support_label_offsets
-        self.query_labels = query_labels
-        self.query_label_offsets = query_label_offsets
-        self.support_lens = np.diff(support_offsets)
-        self.query_lens = np.diff(query_offsets)
+        self._user_rows = _GrowableArray(user_rows, _INDEX_DTYPE)
+        self._support_items = _GrowableArray(support_items, _INDEX_DTYPE)
+        self._support_offsets = _GrowableArray(support_offsets, _OFFSET_DTYPE)
+        self._query_items = _GrowableArray(query_items, _INDEX_DTYPE)
+        self._query_offsets = _GrowableArray(query_offsets, _OFFSET_DTYPE)
+        self._view_base = _GrowableArray(view_base, _INDEX_DTYPE)
+        self._support_labels = _GrowableArray(support_labels, _LABEL_DTYPE)
+        self._support_label_offsets = _GrowableArray(
+            support_label_offsets, _OFFSET_DTYPE
+        )
+        self._query_labels = _GrowableArray(query_labels, _LABEL_DTYPE)
+        self._query_label_offsets = _GrowableArray(
+            query_label_offsets, _OFFSET_DTYPE
+        )
+        self._support_lens = _GrowableArray(np.diff(support_offsets), _OFFSET_DTYPE)
+        self._query_lens = _GrowableArray(np.diff(query_offsets), _OFFSET_DTYPE)
+
+    # ------------------------------------------------------------------
+    # Pools and offsets are live prefixes of growable buffers; re-read them
+    # through these properties after an append (see :class:`_GrowableArray`).
+    @property
+    def user_rows(self) -> np.ndarray:
+        return self._user_rows.view
+
+    @property
+    def support_items(self) -> np.ndarray:
+        return self._support_items.view
+
+    @property
+    def support_offsets(self) -> np.ndarray:
+        return self._support_offsets.view
+
+    @property
+    def query_items(self) -> np.ndarray:
+        return self._query_items.view
+
+    @property
+    def query_offsets(self) -> np.ndarray:
+        return self._query_offsets.view
+
+    @property
+    def view_base(self) -> np.ndarray:
+        return self._view_base.view
+
+    @property
+    def support_labels(self) -> np.ndarray:
+        return self._support_labels.view
+
+    @property
+    def support_label_offsets(self) -> np.ndarray:
+        return self._support_label_offsets.view
+
+    @property
+    def query_labels(self) -> np.ndarray:
+        return self._query_labels.view
+
+    @property
+    def query_label_offsets(self) -> np.ndarray:
+        return self._query_label_offsets.view
+
+    @property
+    def support_lens(self) -> np.ndarray:
+        return self._support_lens.view
+
+    @property
+    def query_lens(self) -> np.ndarray:
+        return self._query_lens.view
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, content: PackedContent | None = None) -> "TaskCorpus":
+        """A zero-task corpus ready to grow through :meth:`append`.
+
+        Streaming consumers start here: :class:`TaskCorpusBuilder` refuses
+        to build an empty corpus because a *training* corpus with no views
+        is a bug, but an event-log corpus legitimately starts empty.
+        """
+        empty_offsets = np.zeros(1, dtype=_OFFSET_DTYPE)
+        return cls(
+            content=content,
+            user_rows=np.empty(0, dtype=_INDEX_DTYPE),
+            support_items=np.empty(0, dtype=_INDEX_DTYPE),
+            support_offsets=empty_offsets,
+            query_items=np.empty(0, dtype=_INDEX_DTYPE),
+            query_offsets=empty_offsets.copy(),
+            view_base=np.empty(0, dtype=_INDEX_DTYPE),
+            support_labels=np.empty(0, dtype=_LABEL_DTYPE),
+            support_label_offsets=empty_offsets.copy(),
+            query_labels=np.empty(0, dtype=_LABEL_DTYPE),
+            query_label_offsets=empty_offsets.copy(),
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -253,6 +398,90 @@ class TaskCorpus:
     def view_support_lens(self, view_ids: np.ndarray | None = None) -> np.ndarray:
         ids = np.arange(self.n_views) if view_ids is None else np.asarray(view_ids)
         return self.support_lens[self.view_base[ids]]
+
+    # ------------------------------------------------------------------
+    def append(self, task: PreferenceTask) -> int:
+        """O(new rows) append of a base task plus its identity view.
+
+        Existing base ids, view ids, and pool offsets are unchanged —
+        label-only views keep aliasing their parent's index range — so an
+        appended corpus gathers bitwise like one rebuilt from scratch with
+        the same task sequence.  Returns the new base id; the task's
+        identity view lands at ``n_views - 1``.
+        """
+        s_items = np.asarray(task.support_items, dtype=_INDEX_DTYPE)
+        q_items = np.asarray(task.query_items, dtype=_INDEX_DTYPE)
+        s_labels = np.asarray(task.support_labels, dtype=_LABEL_DTYPE)
+        q_labels = np.asarray(task.query_labels, dtype=_LABEL_DTYPE)
+        if s_labels.shape != s_items.shape:
+            raise ValueError("support labels must match the support item width")
+        if q_labels.shape != q_items.shape:
+            raise ValueError("query labels must match the query item width")
+        if self.content is not None:
+            n_items = self.content.item.shape[0]
+            for arr in (s_items, q_items):
+                if arr.size and (arr.min() < 0 or arr.max() >= n_items):
+                    raise ValueError("item index out of range for attached content")
+            if not 0 <= int(task.user_row) < self.content.user.shape[0]:
+                raise ValueError("user_row out of range for attached content")
+        base = self.n_tasks
+        self._user_rows.append_scalar(int(task.user_row))
+        self._support_items.append(s_items)
+        self._support_offsets.append_scalar(
+            int(self.support_offsets[-1]) + s_items.size
+        )
+        self._support_lens.append_scalar(s_items.size)
+        self._query_items.append(q_items)
+        self._query_offsets.append_scalar(int(self.query_offsets[-1]) + q_items.size)
+        self._query_lens.append_scalar(q_items.size)
+        self._append_view(base, s_labels, q_labels)
+        return base
+
+    def extend(self, tasks: Sequence[PreferenceTask]) -> list[int]:
+        """Append several base tasks; returns their base ids."""
+        return [self.append(task) for task in tasks]
+
+    def _append_view(
+        self, base: int, support_labels: np.ndarray, query_labels: np.ndarray
+    ) -> int:
+        view = self.n_views
+        self._view_base.append_scalar(base)
+        self._support_labels.append(support_labels)
+        self._support_label_offsets.append_scalar(
+            int(self.support_label_offsets[-1]) + support_labels.size
+        )
+        self._query_labels.append(query_labels)
+        self._query_label_offsets.append_scalar(
+            int(self.query_label_offsets[-1]) + query_labels.size
+        )
+        return view
+
+    def append_label_view(
+        self, base: int, support_labels: np.ndarray, query_labels: np.ndarray
+    ) -> int:
+        """Attach a label-only view to an existing base task, post-build."""
+        if not 0 <= base < self.n_tasks:
+            raise ValueError(f"unknown base task {base}")
+        support_labels = np.asarray(support_labels, dtype=_LABEL_DTYPE)
+        query_labels = np.asarray(query_labels, dtype=_LABEL_DTYPE)
+        if support_labels.size != int(self.support_lens[base]):
+            raise ValueError("support labels must match the base task's width")
+        if query_labels.size != int(self.query_lens[base]):
+            raise ValueError("query labels must match the base task's width")
+        return self._append_view(base, support_labels.ravel(), query_labels.ravel())
+
+    def append_rating_view(self, base: int, rating_vector: np.ndarray) -> int:
+        """Augmented view of Eqs. (9)-(10) against a live corpus."""
+        if not 0 <= base < self.n_tasks:
+            raise ValueError(f"unknown base task {base}")
+        s0, s1 = self.support_offsets[base], self.support_offsets[base + 1]
+        q0, q1 = self.query_offsets[base], self.query_offsets[base + 1]
+        vector = np.asarray(rating_vector)
+        return self._append_view(
+            base,
+            np.asarray(vector[self.support_items[s0:s1]], dtype=_LABEL_DTYPE),
+            np.asarray(vector[self.query_items[q0:q1]], dtype=_LABEL_DTYPE),
+        )
 
     # ------------------------------------------------------------------
     def epoch_batches(
@@ -440,6 +669,10 @@ class TaskCorpusBuilder:
         self._support_labels.append(np.asarray(task.support_labels, dtype=_LABEL_DTYPE))
         self._query_labels.append(np.asarray(task.query_labels, dtype=_LABEL_DTYPE))
         return base
+
+    def extend(self, tasks: Sequence[PreferenceTask]) -> list[int]:
+        """Register several base tasks; returns their base ids."""
+        return [self.add_task(task) for task in tasks]
 
     def add_label_view(
         self, base: int, support_labels: np.ndarray, query_labels: np.ndarray

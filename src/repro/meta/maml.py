@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.meta.corpus import (
     BatchScratch,
+    PackedContent,
     TaskCorpus,
     TaskCorpusBuilder,
     pack_content,
@@ -541,6 +542,71 @@ class MAML:
                 results[int(i)] = part
         return results  # type: ignore[return-value]
 
+    def refresh_from(
+        self,
+        corpus: TaskCorpus,
+        view_ids: np.ndarray | None = None,
+        meta_lr: float = 0.1,
+        steps: int | None = None,
+        max_chunk: int = 64,
+    ) -> float:
+        """Reptile-style meta-refresh from (a tail of) a task corpus.
+
+        Adapts each selected view from the current initialization and nudges
+        the meta-parameters toward the mean adapted solution: ``θ ← θ +
+        ε·mean_i(φ_i − θ)`` over the adaptable keys only (Reptile's outer
+        step, first-order like the FOMAML trainer).  This is the streaming
+        counterpart of :meth:`fit` — O(tail) instead of O(corpus), no
+        optimizer state touched — meant to absorb freshly observed tasks
+        between full retrains.  Updated arrays are assigned *into* the
+        existing ``self.params`` dict (never a new dict), so the optimizer
+        and any aliased references see the refresh; memmap-backed artifact
+        params are replaced by in-memory arrays, not written through.
+
+        Returns the RMS of the applied parameter delta (0.0 when no views).
+        """
+        if not 0.0 < meta_lr <= 1.0:
+            raise ValueError("meta_lr must be in (0, 1]")
+        ids = (
+            np.arange(corpus.n_views)
+            if view_ids is None
+            else np.asarray(view_ids, dtype=np.int64)
+        )
+        if ids.size == 0:
+            return 0.0
+        adaptable = sorted(self._adaptable_keys & set(self.params))
+        totals = {
+            key: np.zeros(self.params[key].shape, dtype=np.float64)
+            for key in adaptable
+        }
+        if self.config.vectorize and self.config.packed and corpus.content is not None:
+            widths = corpus.view_support_lens(ids)
+            order = np.argsort(widths, kind="stable")
+            for chunk in uniform_width_chunks(widths, order, max_chunk):
+                batch = corpus.gather_batch(
+                    ids[chunk], scratch=self._scratch, support_only=True
+                )
+                _, fast = self._adapt_gathered(corpus.content, batch, steps=steps)
+                for key in adaptable:
+                    totals[key] += (fast[key] - self.params[key][None]).sum(axis=0)
+        else:
+            for fast in self.adapt_many(
+                corpus.materialize(ids), steps=steps, max_chunk=max_chunk
+            ):
+                for key in adaptable:
+                    totals[key] += fast[key] - self.params[key]
+        scale = meta_lr / ids.size
+        sq_sum = 0.0
+        n_elems = 0
+        for key in adaptable:
+            delta = scale * totals[key]
+            self.params[key] = np.asarray(
+                self.params[key] + delta, dtype=self.params[key].dtype
+            )
+            sq_sum += float(np.sum(delta * delta))
+            n_elems += delta.size
+        return float(np.sqrt(sq_sum / max(n_elems, 1)))
+
     # ------------------------------------------------------------------
     def finetune(self, item: TaskBatchItem, steps: int | None = None) -> Params:
         """Meta-testing adaptation: :meth:`adapt` with a step override."""
@@ -707,6 +773,39 @@ def adapt_task_states(
         for i in owners[slot]:
             states[i] = fast
     return states
+
+
+def stream_refresh(
+    maml: MAML,
+    content: PackedContent,
+    tasks: Sequence,
+    corpus: TaskCorpus | None = None,
+    meta_lr: float = 0.1,
+    steps: int | None = None,
+) -> tuple[TaskCorpus, dict]:
+    """Append observed tasks to a streaming corpus and reptile-refresh.
+
+    The shared ``meta_refresh`` backend of MAML-based recommenders: live
+    support tasks (``None``/support-empty entries are skipped) are appended
+    to ``corpus`` — created via :meth:`TaskCorpus.empty` on first use, so
+    repeated refreshes accumulate an event-log corpus — and only the newly
+    appended tail feeds :meth:`MAML.refresh_from`.  Returns the (possibly
+    new) corpus plus ``{"n_tasks", "delta_rms"}``.
+    """
+    if corpus is None:
+        corpus = TaskCorpus.empty(content)
+    live = [t for t in tasks if t is not None and t.n_support > 0]
+    if not live:
+        return corpus, {"n_tasks": 0, "delta_rms": 0.0}
+    start = corpus.n_views
+    corpus.extend(live)
+    delta = maml.refresh_from(
+        corpus,
+        view_ids=np.arange(start, corpus.n_views),
+        meta_lr=meta_lr,
+        steps=steps,
+    )
+    return corpus, {"n_tasks": len(live), "delta_rms": delta}
 
 
 def subsample_support(

@@ -36,6 +36,7 @@ from repro.meta.maml import (
     MAMLConfig,
     adapt_task_states,
     batched_candidate_scores,
+    stream_refresh,
     subsample_support,
 )
 from repro.meta.model import PreferenceModel, PreferenceModelConfig
@@ -106,6 +107,7 @@ class MetaDPA(PackedContentMixin, Recommender):
         self.augmented: AugmentedRatings | None = None
         self._ctx: FitContext | None = None
         self._content: PackedContent | None = None
+        self._stream_corpus: TaskCorpus | None = None
         self.meta_loss_history: list[float] = []
         self._aug_cache = None
         self._aug_cache_token = ""
@@ -130,6 +132,7 @@ class MetaDPA(PackedContentMixin, Recommender):
         aug_rng, maml_rng, sample_rng = spawn_rngs(self.seed, 3)
         self._ctx = ctx
         self._content = None
+        self._stream_corpus = None
         self.attach_serving(ctx)
         domain = ctx.domain
 
@@ -231,6 +234,20 @@ class MetaDPA(PackedContentMixin, Recommender):
             tasks,
             self.config.finetune_steps,
         )
+
+    def meta_refresh(self, tasks, meta_lr: float = 0.1, steps: int | None = None):
+        """Reptile-refresh the meta-initialization from observed tasks."""
+        if self.maml is None:
+            raise RuntimeError("fit() must be called before meta_refresh()")
+        self._stream_corpus, info = stream_refresh(
+            self.maml,
+            self._packed_content(),
+            tasks,
+            corpus=self._stream_corpus,
+            meta_lr=meta_lr,
+            steps=self.config.finetune_steps if steps is None else steps,
+        )
+        return info
 
     def score_with_state(
         self,

@@ -16,14 +16,24 @@ cleared cache.  Answers are bit-identical to the single-process
 ``benchmarks/bench_load.py``.
 """
 
-from repro.serve.loadgen import LoadReport, run_open_loop, zipfian_users
+from repro.serve.loadgen import (
+    LoadReport,
+    StreamOp,
+    mixed_zipfian_stream,
+    run_mixed_open_loop,
+    run_open_loop,
+    zipfian_users,
+)
 from repro.serve.sharded import ShardedService
 from repro.serve.worker import WorkerOptions, run_worker
 
 __all__ = [
     "LoadReport",
     "ShardedService",
+    "StreamOp",
     "WorkerOptions",
+    "mixed_zipfian_stream",
+    "run_mixed_open_loop",
     "run_open_loop",
     "run_worker",
     "zipfian_users",

@@ -74,26 +74,66 @@ class LoadReport:
         }
 
 
-def run_open_loop(
-    submit: Callable[[int], Future],
-    users: Sequence[int] | np.ndarray,
+@dataclass(frozen=True)
+class StreamOp:
+    """One operation of a mixed read/write stream.
+
+    ``kind`` is ``"read"`` (a recommendation request) or ``"write"`` (an
+    observed ``(user, item, rating)`` interaction event).
+    """
+
+    kind: str
+    user_row: int
+    item_row: int = -1
+    rating: float = 1.0
+
+
+def mixed_zipfian_stream(
+    user_pool: Sequence[int] | np.ndarray,
+    item_pool: Sequence[int] | np.ndarray,
+    n_ops: int,
+    write_frac: float = 0.15,
+    alpha: float = 1.1,
+    seed: int = 0,
+) -> list[StreamOp]:
+    """Interleave Zipfian reads with uniform-random write events.
+
+    Users follow the same Zipf(α) popularity law for reads and writes — a
+    hot user both requests often and rates often, which is the worst case
+    for the adaptation cache (every write invalidates a hot entry).
+    """
+    if not 0.0 <= write_frac <= 1.0:
+        raise ValueError("write_frac must be in [0, 1]")
+    user_pool = np.asarray(user_pool, dtype=int)
+    item_pool = np.asarray(item_pool, dtype=int)
+    rng = np.random.default_rng(seed)
+    users = rng.choice(
+        user_pool, size=n_ops, p=zipf_probabilities(user_pool.size, alpha)
+    )
+    is_write = rng.random(n_ops) < write_frac
+    items = rng.choice(item_pool, size=n_ops)
+    ratings = rng.random(n_ops)
+    return [
+        StreamOp("write", int(u), int(i), float(r))
+        if w
+        else StreamOp("read", int(u))
+        for u, w, i, r in zip(users, is_write, items, ratings)
+    ]
+
+
+def _open_loop(
+    submit_one: Callable[[int], Future],
+    n: int,
     rate: float,
 ) -> LoadReport:
-    """Drive ``submit`` with one request per user at ``rate`` arrivals/s.
-
-    ``submit`` must return a future (e.g. ``ShardedService.submit``).  Each
-    request's latency is submit-to-completion, so coalescing waits and
-    queueing delay under overload are counted against the service.
-    """
+    """Fixed-clock open loop over ``submit_one(i) -> Future`` for i < n."""
     if rate <= 0:
         raise ValueError("rate must be positive")
-    users = np.asarray(users, dtype=int)
-    n = users.size
     latencies = np.full(n, np.nan)
     done_at = np.full(n, np.nan)
     futures: list[Future] = []
     start = time.perf_counter()
-    for i, user in enumerate(users):
+    for i in range(n):
         target = start + i / rate
         now = time.perf_counter()
         if target > now:
@@ -105,7 +145,7 @@ def run_open_loop(
             latencies[i] = finished - submitted
             done_at[i] = finished
 
-        future = submit(int(user))
+        future = submit_one(i)
         future.add_done_callback(record)
         futures.append(future)
     for future in futures:
@@ -121,3 +161,53 @@ def run_open_loop(
         elapsed=elapsed,
         latencies=latencies,
     )
+
+
+def run_open_loop(
+    submit: Callable[[int], Future],
+    users: Sequence[int] | np.ndarray,
+    rate: float,
+) -> LoadReport:
+    """Drive ``submit`` with one request per user at ``rate`` arrivals/s.
+
+    ``submit`` must return a future (e.g. ``ShardedService.submit``).  Each
+    request's latency is submit-to-completion, so coalescing waits and
+    queueing delay under overload are counted against the service.
+    """
+    users = np.asarray(users, dtype=int)
+    return _open_loop(lambda i: submit(int(users[i])), users.size, rate)
+
+
+def run_mixed_open_loop(
+    service,
+    ops: Sequence[StreamOp],
+    rate: float,
+) -> LoadReport:
+    """Replay a mixed read/write stream open-loop against a service.
+
+    Reads go through ``service.submit``; writes through
+    ``service.observe_async`` when available (the sharded front-end),
+    falling back to a completed future around a blocking ``observe``.
+    Write latency counts like read latency: an invalidation storm that
+    stalls the shard shows up in the percentiles.
+    """
+    observe_async = getattr(service, "observe_async", None)
+
+    def submit_one(i: int) -> Future:
+        op = ops[i]
+        if op.kind == "read":
+            return service.submit(op.user_row)
+        if op.kind != "write":
+            raise ValueError(f"unknown stream op kind: {op.kind!r}")
+        if observe_async is not None:
+            return observe_async(op.user_row, op.item_row, op.rating)
+        future: Future = Future()
+        try:
+            future.set_result(
+                service.observe(op.user_row, op.item_row, op.rating)
+            )
+        except Exception as exc:  # surface through the future like a read
+            future.set_exception(exc)
+        return future
+
+    return _open_loop(submit_one, len(ops), rate)

@@ -118,6 +118,9 @@ class ShardedService:
         start_method: str | None = None,
         heartbeat_interval: float = 0.5,
         request_timeout: float | None = 60.0,
+        refresh_every: int = 0,
+        refresh_lr: float = 0.1,
+        refresh_steps: int | None = None,
     ):
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
@@ -129,11 +132,15 @@ class ShardedService:
             mmap_mode=mmap_mode,
             cache_size=cache_size,
             candidate_pool=candidate_pool,
+            refresh_every=refresh_every,
+            refresh_lr=refresh_lr,
+            refresh_steps=refresh_steps,
         )
         self._ctx = mp.get_context(start_method or default_start_method())
         self._request_timeout = request_timeout
         self.heartbeat_interval = heartbeat_interval
         self.n_requests = 0
+        self._count_lock = threading.Lock()
         self._closing = False
         self._closed = False
         self._shards = [_Shard(index=i) for i in range(n_workers)]
@@ -291,7 +298,8 @@ class ShardedService:
         """
         shard = self._shards[self.shard_of(user_row)]
         request = ServeRequest(int(user_row), int(k), task, bool(exclude_seen))
-        self.n_requests += 1
+        with self._count_lock:
+            self.n_requests += 1
         return shard.batcher.submit(request, None)
 
     def recommend(
@@ -323,6 +331,47 @@ class ShardedService:
         """Drop one user's cached adaptation on its owning shard."""
         self._rpc(self._shards[self.shard_of(user_row)], "invalidate", int(user_row))
 
+    def observe(self, user_row: int, item_row: int, rating: float = 1.0) -> None:
+        """Route one interaction event to the user's owning shard.
+
+        The worker's :meth:`RecommenderService.observe` appends the event
+        to the user's support task and invalidates exactly that user's
+        cached adaptation — the same semantics as the single-process
+        facade, because the owning shard holds that user's *only* cache
+        entry.  Auto-refresh (``refresh_every``) counts shard-local events.
+        """
+        self.observe_async(user_row, item_row, rating).result(
+            timeout=self._request_timeout
+        )
+
+    def observe_async(
+        self, user_row: int, item_row: int, rating: float = 1.0
+    ) -> Future:
+        """Fire-and-track variant of :meth:`observe` for write streams."""
+        shard = self._shards[self.shard_of(user_row)]
+        payload = (int(user_row), int(item_row), float(rating))
+        _, future = self._call(shard, "observe", payload)
+        return future
+
+    def meta_refresh(
+        self, meta_lr: float | None = None, steps: int | None = None
+    ) -> list[dict]:
+        """Reptile-refresh every shard from its observed users.
+
+        Each worker refreshes its own meta-initialization from its own
+        shard's dirty users (shards never see each other's events), so the
+        per-shard updates differ — use single-process serving when strict
+        cross-shard parameter equality matters.  Returns one info dict per
+        shard.
+        """
+        calls = [
+            self._call(shard, "refresh", (meta_lr, steps))
+            for shard in self._shards
+        ]
+        return [
+            future.result(timeout=self._request_timeout) for _, future in calls
+        ]
+
     def ping(self, shard_index: int) -> bool:
         """Round-trip health probe of one worker."""
         return self._rpc(self._shards[shard_index], "ping") == "pong"
@@ -346,9 +395,11 @@ class ShardedService:
             except Exception as exc:
                 entry["worker"] = {"error": str(exc)}
             shards.append(entry)
+        with self._count_lock:
+            n_requests = self.n_requests
         return {
             "workers": len(self._shards),
-            "requests": self.n_requests,
+            "requests": n_requests,
             "restarts": sum(s.restarts for s in self._shards),
             "shards": shards,
         }

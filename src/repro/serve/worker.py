@@ -11,8 +11,9 @@ private counters — and then answers a tiny RPC protocol::
 
 Kinds: ``batch`` (a flush of :class:`~repro.service.ServeRequest`, answered
 by ``recommend_batch`` — one ``adapt_users`` call per flush, solo scoring
-for bit-identical results), ``register`` / ``invalidate`` (history
-bookkeeping), ``stats``, ``ping`` and ``shutdown``.  Any per-request
+for bit-identical results), ``register`` / ``invalidate`` / ``observe``
+(history bookkeeping and event-log ingest), ``refresh`` (reptile
+meta-refresh from observed tasks), ``stats``, ``ping`` and ``shutdown``.  Any per-request
 exception is reported back as ``(req_id, False, message)``; the worker only
 exits on ``shutdown`` or a closed pipe, so one bad request never kills the
 shard.
@@ -41,6 +42,9 @@ class WorkerOptions:
     mmap_mode: str | None = "r"
     cache_size: int = 256
     candidate_pool: np.ndarray | None = None
+    refresh_every: int = 0
+    refresh_lr: float = 0.1
+    refresh_steps: int | None = None
 
 
 def run_worker(conn: Connection, artifact: str, options: WorkerOptions) -> None:
@@ -52,6 +56,9 @@ def run_worker(conn: Connection, artifact: str, options: WorkerOptions) -> None:
         mmap_mode=options.mmap_mode,
         cache_size=options.cache_size,
         candidate_pool=options.candidate_pool,
+        refresh_every=options.refresh_every,
+        refresh_lr=options.refresh_lr,
+        refresh_steps=options.refresh_steps,
     )
     conn.send((CONTROL_ID, True, {"event": "ready", "pid": os.getpid()}))
     try:
@@ -82,6 +89,13 @@ def _handle(service, kind: str, payload):
     if kind == "invalidate":
         service.invalidate_user(int(payload))
         return None
+    if kind == "observe":
+        user_row, item_row, rating = payload
+        service.observe(int(user_row), int(item_row), float(rating))
+        return None
+    if kind == "refresh":
+        meta_lr, steps = payload
+        return service.meta_refresh(meta_lr=meta_lr, steps=steps)
     if kind == "stats":
         return {**service.stats(), "pid": os.getpid()}
     if kind == "ping":

@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.core.interface import Recommendation, Recommender
 from repro.data.negative_sampling import EvalInstance
-from repro.data.tasks import PreferenceTask
+from repro.data.tasks import PreferenceTask, append_interaction, task_fingerprint
 from repro.service.batching import MicroBatcher
 from repro.service.cache import LRUCache
 
@@ -81,6 +81,9 @@ class RecommenderService:
         batching: bool = False,
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
+        refresh_every: int = 0,
+        refresh_lr: float = 0.1,
+        refresh_steps: int | None = None,
     ):
         self.method = method
         serving = method.serving  # raises if the method is not fitted/loaded
@@ -92,12 +95,27 @@ class RecommenderService:
                 self._pool[0] < 0 or self._pool[-1] >= serving.n_items
             ):
                 raise ValueError("candidate_pool contains out-of-range item rows")
+        if refresh_every < 0:
+            raise ValueError("refresh_every must be >= 0")
+        if refresh_every > 0 and not method.supports_meta_refresh():
+            raise ValueError(
+                f"{type(method).__name__} does not support meta-refresh; "
+                "refresh_every requires a meta-learned method"
+            )
+        self.refresh_every = refresh_every
+        self.refresh_lr = refresh_lr
+        self.refresh_steps = refresh_steps
         self._cache = LRUCache(maxsize=cache_size)
         self._cache_lock = threading.Lock()
         self._tasks: dict[int, PreferenceTask] = {}
+        self._observed: dict[int, set[int]] = {}
+        self._dirty_users: set[int] = set()
         self.n_requests = 0
         self.n_adapt_batches = 0
         self.n_adapted_users = 0
+        self.n_events = 0
+        self.n_refreshes = 0
+        self._events_since_refresh = 0
         self._pending_depth = 0
         self._batcher: MicroBatcher | None = None
         if batching:
@@ -134,22 +152,101 @@ class RecommenderService:
         with self._cache_lock:
             self._cache.invalidate(int(user_row))
 
+    def clear_cache(self) -> None:
+        """Drop every cached adaptation (all users re-adapt on next use)."""
+        with self._cache_lock:
+            self._cache.clear()
+
+    def observe(self, user_row: int, item_row: int, rating: float = 1.0) -> None:
+        """Ingest one interaction event for ``user_row``.
+
+        The event is appended to the user's support task (created fresh for
+        users with no registered history), exactly that user's cached fast
+        weights are invalidated — re-adaptation happens lazily on their
+        next request — and the item joins the user's exclusion set for
+        ``exclude_seen`` serving.  Every ``refresh_every`` events (when
+        enabled) a :meth:`meta_refresh` is triggered.
+        """
+        key = int(user_row)
+        item = int(item_row)
+        serving = self.method.serving
+        if not 0 <= key < serving.n_users:
+            raise ValueError(f"user_row {key} out of range [0, {serving.n_users})")
+        if not 0 <= item < serving.n_items:
+            raise ValueError(f"item_row {item} out of range [0, {serving.n_items})")
+        self._tasks[key] = append_interaction(
+            self._tasks.get(key), key, item, float(rating)
+        )
+        with self._cache_lock:
+            self._cache.invalidate(key)
+            self._observed.setdefault(key, set()).add(item)
+            self._dirty_users.add(key)
+            self.n_events += 1
+            self._events_since_refresh += 1
+            due = (
+                self.refresh_every > 0
+                and self._events_since_refresh >= self.refresh_every
+            )
+        if due:
+            self.meta_refresh()
+
+    def meta_refresh(
+        self, meta_lr: float | None = None, steps: int | None = None
+    ) -> dict:
+        """Nudge the meta-initialization from users observed since last time.
+
+        Runs the method's reptile-style :meth:`~repro.core.interface
+        .Recommender.meta_refresh` over the dirty users' current support
+        tasks, then drops *every* cached adaptation — all fast weights were
+        fine-tuned from the old initialization and are stale against the
+        new one.  No-op (and no cache clear) when nothing was observed.
+        """
+        if not self.method.supports_meta_refresh():
+            raise NotImplementedError(
+                f"{type(self.method).__name__} does not support meta-refresh"
+            )
+        with self._cache_lock:
+            dirty = sorted(self._dirty_users)
+            self._dirty_users.clear()
+            self._events_since_refresh = 0
+        if not dirty:
+            return {"n_tasks": 0, "delta_rms": 0.0}
+        info = self.method.meta_refresh(
+            [self._tasks.get(user) for user in dirty],
+            meta_lr=self.refresh_lr if meta_lr is None else meta_lr,
+            steps=self.refresh_steps if steps is None else steps,
+        )
+        with self._cache_lock:
+            self._cache.clear()
+            self.n_refreshes += 1
+        return info
+
     def _cached_state(self, user_row: int, task: PreferenceTask | None):
-        """``(hit, state, effective_task)`` for one user's cache lookup."""
+        """``(hit, state, extra)`` for one user's cache lookup.
+
+        On a hit ``extra`` is the cached task's fingerprint (``None`` for a
+        task-free adaptation); on a miss it is the effective task to adapt
+        with.  Staleness compares task *values*, not object identity — a
+        task pickled across a shard Pipe is a new object with the same
+        bytes and must still hit.
+        """
         key = int(user_row)
         with self._cache_lock:
             entry = self._cache.get(key, _MISS)
         if entry is not _MISS:
-            cached_task, state = entry
-            # A caller explicitly passing a *different* task is announcing
-            # fresh history — the cached adaptation is stale for it.
-            if task is None or task is cached_task:
-                return True, state, cached_task
+            cached_fp, state = entry
+            # A caller explicitly passing *different* history is announcing
+            # fresh interactions — the cached adaptation is stale for it.
+            if task is None or (
+                cached_fp is not None and task_fingerprint(task) == cached_fp
+            ):
+                return True, state, cached_fp
         return False, None, task if task is not None else self._tasks.get(key)
 
     def _store_state(self, user_row: int, task: PreferenceTask | None, state) -> None:
+        fingerprint = task_fingerprint(task) if task is not None else None
         with self._cache_lock:
-            self._cache.put(int(user_row), (task, state))
+            self._cache.put(int(user_row), (fingerprint, state))
 
     def _count_adaptation(self, n_users: int) -> None:
         with self._cache_lock:
@@ -180,14 +277,21 @@ class RecommenderService:
             if isinstance(entry, _PendingAdaptation)
         ]
         if pending:
-            adapted = self.method.adapt_users([entry.task for _, entry in pending])
-            self._count_adaptation(len(pending))
-            states = list(states)
-            for (i, entry), state in zip(pending, adapted):
-                states[i] = state
-                self._store_state(entry.user_row, entry.task, state)
-            with self._cache_lock:
-                self._pending_depth -= len(pending)
+            # The decrement rides a finally so a raising adapt_users (the
+            # exception lands on every waiter's future) cannot leak backlog
+            # depth into the stats forever.
+            try:
+                adapted = self.method.adapt_users(
+                    [entry.task for _, entry in pending]
+                )
+                self._count_adaptation(len(pending))
+                states = list(states)
+                for (i, entry), state in zip(pending, adapted):
+                    states[i] = state
+                    self._store_state(entry.user_row, entry.task, state)
+            finally:
+                with self._cache_lock:
+                    self._pending_depth -= len(pending)
         return self.method.score_with_state_batch(states, instances)
 
     def _candidates_for(self, user_row: int, exclude_seen: bool) -> np.ndarray:
@@ -199,6 +303,9 @@ class RecommenderService:
         pool = self._pool
         if exclude_seen:
             pool = pool[~serving.seen[user_row, pool]]
+            observed = self._observed.get(user_row)
+            if observed:
+                pool = pool[~np.isin(pool, np.fromiter(observed, dtype=int))]
         return pool
 
     # ------------------------------------------------------------------
@@ -216,8 +323,9 @@ class RecommenderService:
         """
         if k <= 0:
             raise ValueError("k must be positive")
-        self.n_requests += 1
         pool = self._candidates_for(int(user_row), exclude_seen)
+        with self._cache_lock:
+            self.n_requests += 1
         if pool.size == 0:
             empty = np.array([], dtype=int)
             return Recommendation(int(user_row), empty, np.array([], dtype=float))
@@ -255,33 +363,50 @@ class RecommenderService:
         :meth:`recommend_many` when tiny ranking differences are acceptable
         and throughput matters more.
         """
+        # Validate the whole flush (and compute candidate pools) before any
+        # adaptation, cache write, or counter bump — one bad request fails
+        # the call with *no* partial state left behind.
+        for request in requests:
+            if request.k <= 0:
+                raise ValueError("k must be positive")
+        pools = [
+            self._candidates_for(int(r.user_row), r.exclude_seen)
+            for r in requests
+        ]
         # Replay the sequential cache protocol: per user, an explicit new
-        # task invalidates earlier state, later requests reuse the freshest
-        # adaptation — without adapting anything yet.  ``plan`` holds one
-        # ("state", s) or ("slot", i) entry per request; ``slots`` lists the
-        # distinct (user, task) adaptations in first-need order.
+        # task (by value fingerprint) invalidates earlier state, later
+        # requests reuse the freshest adaptation — without adapting anything
+        # yet.  ``plan`` holds one ("state", s) or ("slot", i) entry per
+        # request; ``slots`` lists the distinct (user, task) adaptations in
+        # first-need order; ``latest`` maps each user to their freshest
+        # task fingerprint.
         plan: list[tuple[str, object]] = []
         slots: list[tuple[int, PreferenceTask | None]] = []
-        latest: dict[int, tuple[PreferenceTask | None, tuple[str, object]]] = {}
+        latest: dict[int, tuple[bytes | None, tuple[str, object]]] = {}
         for request in requests:
             key = int(request.user_row)
             task = request.task
             if key in latest:
-                prior_task, entry = latest[key]
-                if task is None or task is prior_task:
+                prior_fp, entry = latest[key]
+                if task is None or (
+                    prior_fp is not None and task_fingerprint(task) == prior_fp
+                ):
                     plan.append(entry)
                     continue
             else:
-                hit, state, effective = self._cached_state(key, task)
+                hit, state, extra = self._cached_state(key, task)
                 if hit:
                     entry = ("state", state)
-                    latest[key] = (effective, entry)
+                    latest[key] = (extra, entry)
                     plan.append(entry)
                     continue
-                task = effective
+                task = extra
             entry = ("slot", len(slots))
             slots.append((key, task))
-            latest[key] = (task, entry)
+            latest[key] = (
+                task_fingerprint(task) if task is not None else None,
+                entry,
+            )
             plan.append(entry)
         adapted: list = []
         if slots:
@@ -289,14 +414,12 @@ class RecommenderService:
             self._count_adaptation(len(slots))
             for (user, task), state in zip(slots, adapted):
                 self._store_state(user, task, state)
-        self.n_requests += len(requests)
+        with self._cache_lock:
+            self.n_requests += len(requests)
         results = []
         empty = np.array([], dtype=int)
-        for request, (kind, value) in zip(requests, plan):
+        for request, pool, (kind, value) in zip(requests, pools, plan):
             user = int(request.user_row)
-            if request.k <= 0:
-                raise ValueError("k must be positive")
-            pool = self._candidates_for(user, request.exclude_seen)
             if pool.size == 0:
                 results.append(
                     Recommendation(user, empty, np.array([], dtype=float))
@@ -313,17 +436,12 @@ class RecommenderService:
             results.append(Recommendation(user, pool[order], scores[order]))
         return results
 
-    def recommend_many(
-        self,
-        user_rows: list[int],
-        k: int = 10,
-        exclude_seen: bool = True,
-    ) -> list[Recommendation]:
-        """Serve a batch of users through one ``score_with_state_batch``.
+    def _states_for(self, user_rows: list[int]) -> list:
+        """Adapted state per user: cached where possible, batch-adapted else.
 
-        Users without a cached adaptation are fine-tuned *together* through
-        the method's ``adapt_users`` (one vectorized inner loop for the
-        whole batch) before the single batched scoring pass.
+        The shared backend of :meth:`recommend_many` and
+        :meth:`score_instances` — cache misses are fine-tuned together with
+        one ``adapt_users`` call and written back to the LRU.
         """
         lookups = [self._cached_state(u, None) for u in user_rows]
         misses: dict[int, PreferenceTask | None] = {}
@@ -337,10 +455,37 @@ class RecommenderService:
             fresh = dict(zip(misses, adapted))
             for user, task in misses.items():
                 self._store_state(user, task, fresh[user])
-        states = [
+        return [
             state if hit else fresh[int(user)]
             for user, (hit, state, _) in zip(user_rows, lookups)
         ]
+
+    def score_instances(self, instances: list[EvalInstance]) -> list[np.ndarray]:
+        """Score eval instances through the full serving path.
+
+        Each instance's user is served with their current adaptation state
+        (cached, or batch-adapted from registered + observed history), so
+        offline evaluation measures exactly what the service would return —
+        the temporal-split protocol's entry point.
+        """
+        states = self._states_for([int(inst.user_row) for inst in instances])
+        with self._cache_lock:
+            self.n_requests += len(instances)
+        return self.method.score_with_state_batch(states, instances)
+
+    def recommend_many(
+        self,
+        user_rows: list[int],
+        k: int = 10,
+        exclude_seen: bool = True,
+    ) -> list[Recommendation]:
+        """Serve a batch of users through one ``score_with_state_batch``.
+
+        Users without a cached adaptation are fine-tuned *together* through
+        the method's ``adapt_users`` (one vectorized inner loop for the
+        whole batch) before the single batched scoring pass.
+        """
+        states = self._states_for(user_rows)
         pools = [self._candidates_for(int(u), exclude_seen) for u in user_rows]
         kept = [i for i, pool in enumerate(pools) if pool.size > 0]
         instances = [
@@ -351,7 +496,8 @@ class RecommenderService:
             )
             for i in kept
         ]
-        self.n_requests += len(user_rows)
+        with self._cache_lock:
+            self.n_requests += len(user_rows)
         score_lists = self.method.score_with_state_batch(
             [states[i] for i in kept], instances
         )
@@ -382,10 +528,18 @@ class RecommenderService:
                 "users": self.n_adapted_users,
                 "pending": self._pending_depth,
             }
+            stream = {
+                "events": self.n_events,
+                "refreshes": self.n_refreshes,
+                "dirty_users": len(self._dirty_users),
+                "observed_users": len(self._observed),
+            }
+            n_requests = self.n_requests
         out = {
-            "requests": self.n_requests,
+            "requests": n_requests,
             "cache": self._cache.stats(),
             "adaptation": adaptation,
+            "stream": stream,
         }
         if self._batcher is not None:
             out["batching"] = self._batcher.stats()

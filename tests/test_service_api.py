@@ -253,7 +253,12 @@ class TestRecommenderService:
         service.recommend(task.user_row, k=5, task=task)
         service.recommend(task.user_row, k=5, task=task)  # same object: cached
         assert counting.adapt_calls == 1
-        fresh = replace(task)  # new history for the same user
+        # An equal-value copy is NOT fresh history — staleness is by value
+        # fingerprint, so a re-sent (e.g. re-pickled) task stays cached.
+        service.recommend(task.user_row, k=5, task=replace(task))
+        assert counting.adapt_calls == 1
+        # Genuinely new interactions for the same user bypass the cache.
+        fresh = replace(task, support_labels=1.0 - task.support_labels)
         service.recommend(task.user_row, k=5, task=fresh)
         assert counting.adapt_calls == 2
         service.recommend(task.user_row, k=5)  # no task: cached again
