@@ -30,6 +30,7 @@ import pytest
 
 from repro.data.experiment import prepare_experiment
 from repro.data.splits import Scenario
+from repro.obs import Histogram
 from repro.registry import build_method
 from repro.serve import ShardedService, run_open_loop, zipfian_users
 
@@ -83,6 +84,51 @@ def _run_trial(path: str, tasks, n_workers: int) -> dict:
     summary["n_workers"] = n_workers
     summary["restarts"] = stats["restarts"]
     return summary
+
+
+def test_loadgen_and_service_percentiles_agree(load_artifact):
+    """Generator-side and service-side latency percentiles cross-check.
+
+    Both sides measure submit-to-completion — the load generator from raw
+    per-request timestamps, the front-end by observing each round-trip into
+    its ``serve.request.seconds`` histogram.  Because both use the same
+    fixed log-bucket layout, each reported percentile is within one bucket
+    ratio (``BUCKET_RATIO`` ≈ 1.585x) of the true quantile, so the two
+    estimates can disagree by at most one bucket index — the documented
+    bucket-resolution error bound.  A larger gap means one side is
+    measuring a different interval (e.g. dropping queue wait).
+    """
+    path, tasks = load_artifact
+    users = zipfian_users(
+        [t.user_row for t in tasks], 96, alpha=1.1, seed=13
+    )
+    with ShardedService(
+        path, n_workers=2, cache_size=64, max_wait_ms=2.0
+    ) as service:
+        assert service.wait_ready(timeout=120.0)
+        for task in tasks:
+            service.register_user_history(task)
+        # Warm up, then reset the front-end registry so the service-side
+        # histogram covers exactly the measured open-loop stream.
+        for warm in range(2):
+            service.recommend(int(users[warm]), k=10)
+        service.metrics.clear()
+        report = run_open_loop(service.submit, users, rate=800.0)
+        snap = service.stats()["metrics"]
+    service_hist = Histogram.from_snapshot(
+        snap["histograms"]["serve.request.seconds"]
+    )
+    assert service_hist.count == report.n_requests
+    load_hist = report.latency_histogram()
+    for q in (50, 99):
+        gap = abs(
+            service_hist.percentile_bucket(q) - load_hist.percentile_bucket(q)
+        )
+        assert gap <= 1, (
+            f"p{q} disagrees by {gap} buckets: "
+            f"loadgen={load_hist.percentile(q) * 1e3:.2f}ms "
+            f"service={service_hist.percentile(q) * 1e3:.2f}ms"
+        )
 
 
 def test_sharded_load_scaling(benchmark, load_artifact):

@@ -12,6 +12,11 @@ trajectory is trackable across PRs and CI uploads the files as artifacts.
 Memory wins are tracked alongside speedups: every payload's ``extra_info``
 records the process peak RSS at session end, and memory-focused benches add
 their own byte counts (e.g. ``corpus_bytes`` in ``bench_meta_corpus``).
+
+Observability: when the process-global :mod:`repro.obs` registry recorded
+anything (training spans, serving counters), a compact summary is folded
+into every payload's ``extra_info["obs"]`` and the full snapshot is written
+as ``BENCH_obs_snapshot.json`` so CI uploads it with the other artifacts.
 """
 
 from __future__ import annotations
@@ -19,24 +24,38 @@ from __future__ import annotations
 import json
 import os
 import re
-import sys
 import time
 from pathlib import Path
 
 import pytest
 
 from repro.data.amazon import BenchmarkScale, make_amazon_like_benchmark
+from repro.obs import Histogram, metrics, peak_rss_bytes
 
 
-def _peak_rss_bytes() -> int | None:
-    """Peak resident set size of this process, in bytes (None if unknown)."""
-    try:
-        import resource
-    except ImportError:  # non-POSIX
+def _obs_summary() -> dict | None:
+    """Compact view of the process-global registry for ``extra_info``.
+
+    Counters verbatim; each histogram reduced to count/mean/p50/p99 so the
+    per-epoch training spans (``meta.*``, ``cvae.*``) land in the stored
+    payloads without dumping hundreds of bucket counts per benchmark.
+    """
+    snap = metrics().snapshot()
+    histograms = {}
+    for name, data in snap.get("histograms", {}).items():
+        hist = Histogram.from_snapshot(data)
+        if not hist.count:
+            continue
+        histograms[name] = {
+            "count": hist.count,
+            "mean": round(hist.mean, 6),
+            "p50": round(hist.percentile(50), 6),
+            "p99": round(hist.percentile(99), 6),
+        }
+    counters = dict(snap.get("counters", {}))
+    if not counters and not histograms:
         return None
-    peak = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
-    # ru_maxrss is KiB on Linux but bytes on macOS.
-    return peak if sys.platform == "darwin" else peak * 1024
+    return {"counters": counters, "histograms": histograms}
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -48,12 +67,27 @@ def pytest_sessionfinish(session, exitstatus):
         os.environ.get("BENCH_RESULTS_DIR", Path(__file__).parent / "results")
     )
     out_dir.mkdir(parents=True, exist_ok=True)
-    peak_rss = _peak_rss_bytes()
+    peak_rss = peak_rss_bytes() or None
+    obs = _obs_summary()
+    if obs is not None:
+        # The full registry snapshot rides along as a BENCH_*.json so the
+        # existing CI artifact glob uploads it next to the benchmark files.
+        (out_dir / "BENCH_obs_snapshot.json").write_text(
+            json.dumps(
+                {"timestamp": time.time(), "metrics": metrics().snapshot()},
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+            + "\n"
+        )
     for bench in bench_session.benchmarks:
         if getattr(bench, "has_error", False):
             continue
         if peak_rss is not None:
             bench.extra_info.setdefault("peak_rss_bytes", peak_rss)
+        if obs is not None:
+            bench.extra_info.setdefault("obs", obs)
         stats = bench.stats
         mean = float(stats.mean)
         payload = {

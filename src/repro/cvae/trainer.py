@@ -24,6 +24,7 @@ import numpy as np
 from repro.cvae.model import CVAEConfig, DualCVAE, FusedDualCVAE
 from repro.data.domain import DomainPair
 from repro.nn.optim import Adam, StackedAdam, clip_grad_norm
+from repro.obs import metrics as obs_metrics
 from repro.utils.batching import iter_batches
 from repro.utils.rng import ensure_rng, spawn_rngs
 
@@ -272,53 +273,63 @@ class MultiDomainCVAETrainer:
         n_steps = int(np.ceil(n_train.max() / cfg.batch_size))
         width = n_steps * cfg.batch_size
         gather = np.arange(fused.n_stack)[:, None]
+        reg = obs_metrics()
         for epoch in range(cfg.epochs):
-            # One gather per epoch: each domain's rows in its own shuffled
-            # order (consuming the batch rng exactly like iter_batches),
-            # sentinel-padded to a common width so every step is an aligned
-            # zero-copy slice across all domains.
-            rows = np.full((k, width), self._sentinel, dtype=np.int64)
-            for d, trainer in enumerate(self.trainers):
-                order = np.arange(n_train[d])
-                trainer._batch_rng.shuffle(order)
-                rows[d, : n_train[d]] = trainer._train_rows[order]
-            rows2 = np.concatenate([rows, rows], axis=0)
-            epoch_ratings = self._ratings[gather, rows2]
-            epoch_content = self._content[gather, rows2]
-
             epoch_loss = np.zeros(k)
             n_batches = np.zeros(k, dtype=np.int64)
-            for step in range(n_steps):
-                start = step * cfg.batch_size
-                sizes = np.clip(n_train - start, 0, cfg.batch_size)
-                batch = int(sizes.max())
-                ratings = epoch_ratings[:, start : start + batch]
-                content = epoch_content[:, start : start + batch]
-                if np.all(sizes == batch):
-                    row_mask = None
-                else:
-                    mask_k = (
-                        np.arange(batch)[None, :] < sizes[:, None]
-                    ).astype(fused.dtype)
-                    row_mask = np.concatenate([mask_k, mask_k], axis=0)
-                row_counts = np.concatenate([sizes, sizes])
-                eps = self._draw_eps(sizes, noise_rngs, batch)
-                losses, grads = fused.loss_and_grads(
-                    ratings, content, eps, row_mask=row_mask, row_counts=row_counts
-                )
-                active = sizes > 0
-                optimizer.clipped_step(
-                    grads,
-                    cfg.grad_clip,
-                    fused.group_index,
-                    active=None if active.all() else np.concatenate([active, active]),
-                )
-                for d in np.flatnonzero(active):
-                    self.trainers[d].history.record_terms(
-                        {name: float(value[d]) for name, value in losses.items()}
-                    )
-                    epoch_loss[d] += float(losses["total"][d])
-                    n_batches[d] += 1
+            with reg.span("cvae.epoch", size=int(n_train.sum())):
+                # One gather per epoch: each domain's rows in its own
+                # shuffled order (consuming the batch rng exactly like
+                # iter_batches), sentinel-padded to a common width so every
+                # step is an aligned zero-copy slice across all domains.
+                with reg.span("cvae.gather"):
+                    rows = np.full((k, width), self._sentinel, dtype=np.int64)
+                    for d, trainer in enumerate(self.trainers):
+                        order = np.arange(n_train[d])
+                        trainer._batch_rng.shuffle(order)
+                        rows[d, : n_train[d]] = trainer._train_rows[order]
+                    rows2 = np.concatenate([rows, rows], axis=0)
+                    epoch_ratings = self._ratings[gather, rows2]
+                    epoch_content = self._content[gather, rows2]
+
+                for step in range(n_steps):
+                    with reg.span("cvae.step"):
+                        start = step * cfg.batch_size
+                        sizes = np.clip(n_train - start, 0, cfg.batch_size)
+                        batch = int(sizes.max())
+                        ratings = epoch_ratings[:, start : start + batch]
+                        content = epoch_content[:, start : start + batch]
+                        if np.all(sizes == batch):
+                            row_mask = None
+                        else:
+                            mask_k = (
+                                np.arange(batch)[None, :] < sizes[:, None]
+                            ).astype(fused.dtype)
+                            row_mask = np.concatenate([mask_k, mask_k], axis=0)
+                        row_counts = np.concatenate([sizes, sizes])
+                        eps = self._draw_eps(sizes, noise_rngs, batch)
+                        losses, grads = fused.loss_and_grads(
+                            ratings,
+                            content,
+                            eps,
+                            row_mask=row_mask,
+                            row_counts=row_counts,
+                        )
+                        active = sizes > 0
+                        optimizer.clipped_step(
+                            grads,
+                            cfg.grad_clip,
+                            fused.group_index,
+                            active=None
+                            if active.all()
+                            else np.concatenate([active, active]),
+                        )
+                    for d in np.flatnonzero(active):
+                        self.trainers[d].history.record_terms(
+                            {name: float(value[d]) for name, value in losses.items()}
+                        )
+                        epoch_loss[d] += float(losses["total"][d])
+                        n_batches[d] += 1
             evals = (
                 self.evaluate()
                 if (epoch + 1) % cfg.eval_every == 0

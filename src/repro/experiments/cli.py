@@ -145,6 +145,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0,
         help="meta-refresh after every N observed events (0 = never)",
     )
+    p.add_argument(
+        "--metrics-json",
+        type=Path,
+        default=None,
+        help="dump the merged metrics snapshot (service stats + registry "
+        "histograms) to this path periodically and on exit",
+    )
+    p.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=5.0,
+        help="seconds between --metrics-json dumps",
+    )
 
     # -- experiment grids ----------------------------------------------
     p = sub.add_parser("grid", help="sharded, resumable experiment grids")
@@ -179,6 +192,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     g = gsub.add_parser("status", help="completion state of a run dir")
     g.add_argument("--run-dir", type=Path, required=True)
+    g.add_argument(
+        "--timings", action="store_true",
+        help="also print per-method phase timings (prepare/fit/score)",
+    )
 
     g = gsub.add_parser("report", help="aggregate a completed run dir")
     g.add_argument("--run-dir", type=Path, required=True)
@@ -242,6 +259,47 @@ def _run_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_dumper(service, path: Path, interval: float):
+    """Start a daemon thread dumping ``service.stats()`` JSON to ``path``.
+
+    Dumps are atomic (write + rename), so a reader tailing the file never
+    sees a half-written snapshot.  Returns a ``stop()`` callable that
+    writes one final snapshot; the single-process tier's stats() carries
+    no histograms, so the registry snapshot is attached as ``metrics``
+    there to match the sharded tier's shape.
+    """
+    import threading
+
+    from repro.utils.persist import atomic_write_bytes
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    def dump() -> None:
+        payload = service.stats()
+        if "metrics" not in payload:
+            payload["metrics"] = service.metrics.snapshot()
+        atomic_write_bytes(path, json.dumps(payload, indent=2).encode())
+
+    stop = threading.Event()
+
+    def loop() -> None:
+        while not stop.wait(interval):
+            try:
+                dump()
+            except Exception:
+                pass  # a closing service mustn't kill the dumper mid-run
+
+    thread = threading.Thread(target=loop, name="repro-metrics-dump", daemon=True)
+    thread.start()
+
+    def finish() -> None:
+        stop.set()
+        thread.join(timeout=2.0)
+        dump()
+
+    return finish
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -293,6 +351,11 @@ def _run_serve(args: argparse.Namespace) -> int:
         f"(cache_size={args.cache_size}, write_frac={args.write_frac}, "
         f"{mode}) ..."
     )
+    stop_dumper = None
+    if args.metrics_json is not None:
+        stop_dumper = _metrics_dumper(
+            service, args.metrics_json, args.metrics_interval
+        )
     with Timer() as timer:
         if args.workers > 0:
             # Submit the whole stream so concurrent requests coalesce into
@@ -317,11 +380,15 @@ def _run_serve(args: argparse.Namespace) -> int:
         else:
             for user in workload:
                 service.recommend(int(user), k=args.k)
+    if stop_dumper is not None:
+        stop_dumper()
+        print(f"Metrics snapshot written to {args.metrics_json}")
     stats = service.stats()
     service.close()
     throughput = args.requests / max(timer.elapsed, 1e-9)
     print(f"Served {args.requests} requests in {timer.elapsed:.3f}s "
           f"({throughput:.0f} req/s)")
+    stats.pop("metrics", None)  # histograms go to --metrics-json, not stdout
     print(f"Stats: {json.dumps(stats)}")
     return 0
 
@@ -390,7 +457,10 @@ def _run_grid_command(args: argparse.Namespace) -> int:
         return 0 if report.ok else 1
 
     if args.grid_command == "status":
-        print(grid_status(args.run_dir).format_table())
+        status = grid_status(args.run_dir)
+        print(status.format_table())
+        if args.timings:
+            print(status.format_timings())
         return 0
 
     # report — file exports happen before the stdout print so a closed

@@ -46,6 +46,7 @@ from repro.meta.model import PreferenceModel
 from repro.nn.module import Grads, Params
 from repro.nn.optim import Adam, add_grads, clip_grad_norm, mean_task_grads
 from repro.nn.stacking import pad_axis, stack_params, tile_params, unstack_params
+from repro.obs import metrics as obs_metrics
 from repro.utils.rng import ensure_rng
 
 
@@ -188,6 +189,10 @@ class MAML:
         self.params: Params = model.init_params(self._rng)
         self._optimizer = Adam(self.params, lr=self.config.outer_lr)
         self._scratch = BatchScratch()
+        # Training spans report through the process-global registry:
+        # trainers are built deep inside methods, so per-instance wiring
+        # would never reach the CLI/bench edges that read the metrics.
+        self._metrics = obs_metrics()
         self._adaptable: set[str] | None = None
         if self.config.local_only_decision:
             self._adaptable = set(model.decision_params(self.params))
@@ -399,29 +404,37 @@ class MAML:
         content = corpus.content
         if content is None:
             raise ValueError("corpus has no content attached")
-        batch = corpus.gather_batch(view_ids, scratch=self._scratch)
-        cu, fast = self._adapt_gathered(content, batch)
-        ci_q = self._scratch.get(
-            "ci_query", batch.query_items.shape + (content.dim,), content.item.dtype
-        )
-        np.take(content.item, batch.query_items, axis=0, out=ci_q)
-        losses, grads = self.model.loss_and_grads(
-            fast, cu, ci_q, batch.query_labels, mask=batch.query_mask
-        )
-        meta_grads = mean_task_grads(grads)
-        clip_grad_norm(meta_grads, self.config.grad_clip)
-        self._optimizer.step(meta_grads)
+        with self._metrics.span("meta.step", size=len(view_ids)):
+            with self._metrics.span("meta.gather"):
+                batch = corpus.gather_batch(view_ids, scratch=self._scratch)
+            cu, fast = self._adapt_gathered(content, batch)
+            ci_q = self._scratch.get(
+                "ci_query",
+                batch.query_items.shape + (content.dim,),
+                content.item.dtype,
+            )
+            with self._metrics.span("meta.gather"):
+                np.take(content.item, batch.query_items, axis=0, out=ci_q)
+            losses, grads = self.model.loss_and_grads(
+                fast, cu, ci_q, batch.query_labels, mask=batch.query_mask
+            )
+            meta_grads = mean_task_grads(grads)
+            clip_grad_norm(meta_grads, self.config.grad_clip)
+            self._optimizer.step(meta_grads)
         return float(np.mean(losses))
 
     def _adapt_gathered(self, content, batch, steps: int | None = None):
         """Support-side content gather + vectorized inner loop for a packed
         batch; returns ``(cu, fast)`` (the ``(T, 1, C)`` user rows are
         reused by the caller's query pass)."""
-        cu = content.user[batch.user_rows][:, None, :]
-        ci = self._scratch.get(
-            "ci_support", batch.support_items.shape + (content.dim,), content.item.dtype
-        )
-        np.take(content.item, batch.support_items, axis=0, out=ci)
+        with self._metrics.span("meta.gather"):
+            cu = content.user[batch.user_rows][:, None, :]
+            ci = self._scratch.get(
+                "ci_support",
+                batch.support_items.shape + (content.dim,),
+                content.item.dtype,
+            )
+            np.take(content.item, batch.support_items, axis=0, out=ci)
         fast = self._adapt_stacked(
             cu, ci, batch.support_labels, batch.support_mask, len(batch), steps=steps
         )
@@ -464,15 +477,17 @@ class MAML:
         history: list[float] = []
         order = np.arange(len(tasks))
         for _ in range(epochs):
-            if shuffle:
-                self._rng.shuffle(order)
-            epoch_loss = 0.0
-            n_batches = 0
-            bs = self.config.meta_batch_size
-            for start in range(0, len(order), bs):
-                batch = [tasks[i] for i in order[start : start + bs]]
-                epoch_loss += self.meta_step(batch)
-                n_batches += 1
+            with self._metrics.span("meta.epoch", size=len(tasks)):
+                if shuffle:
+                    self._rng.shuffle(order)
+                epoch_loss = 0.0
+                n_batches = 0
+                bs = self.config.meta_batch_size
+                for start in range(0, len(order), bs):
+                    batch = [tasks[i] for i in order[start : start + bs]]
+                    with self._metrics.span("meta.step", size=len(batch)):
+                        epoch_loss += self.meta_step(batch)
+                    n_batches += 1
             history.append(epoch_loss / max(n_batches, 1))
         return history
 
@@ -486,14 +501,17 @@ class MAML:
         # math — meta_step dispatches the latter) materializes instead.
         use_packed = self.config.packed and self.config.vectorize
         for _ in range(epochs):
-            epoch_loss = 0.0
-            n_batches = 0
-            for view_ids in corpus.epoch_batches(bs, rng=self._rng, shuffle=shuffle):
-                if use_packed:
-                    epoch_loss += self.meta_step_corpus(corpus, view_ids)
-                else:
-                    epoch_loss += self.meta_step(corpus.materialize(view_ids))
-                n_batches += 1
+            with self._metrics.span("meta.epoch", size=corpus.n_views):
+                epoch_loss = 0.0
+                n_batches = 0
+                for view_ids in corpus.epoch_batches(
+                    bs, rng=self._rng, shuffle=shuffle
+                ):
+                    if use_packed:
+                        epoch_loss += self.meta_step_corpus(corpus, view_ids)
+                    else:
+                        epoch_loss += self.meta_step(corpus.materialize(view_ids))
+                    n_batches += 1
             history.append(epoch_loss / max(n_batches, 1))
         return history
 

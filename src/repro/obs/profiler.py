@@ -1,0 +1,111 @@
+"""Opt-in phase profiler: wall time + peak RSS per named phase.
+
+Built for the grid engine's per-cell timings (prepare / fit / score) but
+generic: wrap any block in :meth:`PhaseProfiler.phase` and read the
+accumulated report.  Reports are plain JSON-able dicts and merge with
+:func:`merge_phase_reports`, so the grid aggregator can total timings
+across thousands of cells.
+
+RSS caveat: on Linux ``ru_maxrss`` is a *monotone process high-water
+mark* that cannot be reset, so a phase's ``peak_rss_bytes`` is the
+process peak *as of the end of that phase* — attribution is "peak so
+far", not "peak caused by this phase".
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["PhaseProfiler", "merge_phase_reports", "peak_rss_bytes"]
+
+
+def peak_rss_bytes() -> int:
+    """Process peak RSS in bytes (0 where ``resource`` is unavailable)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return int(peak if sys.platform == "darwin" else peak * 1024)
+
+
+class _Phase:
+    __slots__ = ("_profiler", "_name", "_t0")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Phase":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._profiler._record(
+            self._name, time.perf_counter() - self._t0, peak_rss_bytes()
+        )
+
+
+class _NullPhase:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class PhaseProfiler:
+    """Accumulates per-phase wall time and peak RSS.
+
+    >>> prof = PhaseProfiler()
+    >>> with prof.phase("prepare"):
+    ...     pass
+    >>> sorted(prof.report()["prepare"])
+    ['calls', 'peak_rss_bytes', 'wall_s']
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._phases: dict[str, dict] = {}
+
+    def phase(self, name: str):
+        if not self.enabled:
+            return _NULL_PHASE
+        return _Phase(self, name)
+
+    def _record(self, name: str, wall_s: float, rss: int) -> None:
+        entry = self._phases.setdefault(
+            name, {"calls": 0, "wall_s": 0.0, "peak_rss_bytes": 0}
+        )
+        entry["calls"] += 1
+        entry["wall_s"] += wall_s
+        entry["peak_rss_bytes"] = max(entry["peak_rss_bytes"], rss)
+
+    def report(self) -> dict:
+        """``{phase: {calls, wall_s, peak_rss_bytes}}`` (JSON-able copy)."""
+        return {name: dict(entry) for name, entry in self._phases.items()}
+
+
+def merge_phase_reports(*reports) -> dict:
+    """Fold phase reports: calls/wall sum, peak RSS maxes; skips None."""
+    out: dict[str, dict] = {}
+    for report in reports:
+        if not report:
+            continue
+        for name, entry in report.items():
+            acc = out.setdefault(
+                name, {"calls": 0, "wall_s": 0.0, "peak_rss_bytes": 0}
+            )
+            acc["calls"] += int(entry.get("calls", 0))
+            acc["wall_s"] += float(entry.get("wall_s", 0.0))
+            acc["peak_rss_bytes"] = max(
+                acc["peak_rss_bytes"], int(entry.get("peak_rss_bytes", 0))
+            )
+    return out

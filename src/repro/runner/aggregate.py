@@ -43,6 +43,9 @@ class GridStatus:
     n_augmentations_cached: int = 0
     augmentation_hits: int = 0
     augmentation_misses: int = 0
+    #: per-method phase timings folded over every stored cell:
+    #: ``{method_label: {phase: {calls, wall_s, peak_rss_bytes}}}``
+    phase_timings: dict[str, dict] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -73,6 +76,42 @@ class GridStatus:
             )
         return "\n".join(lines)
 
+    def format_timings(self) -> str:
+        """Per-method phase timing table (``grid status --timings``).
+
+        Wall times are summed over every stored cell of the method (each
+        *unit* is profiled once and its report stored on each of its
+        cells, so the sums weight multi-scenario units per cell — a
+        consistent, comparable convention across methods); peak RSS is
+        the max over the cells' worker processes.
+        """
+        if not self.phase_timings:
+            return "no phase timings recorded (grid predates the profiler)"
+        phases = ["prepare", "fit", "score"]
+        extra = sorted(
+            {p for report in self.phase_timings.values() for p in report}
+            - set(phases)
+        )
+        phases += extra
+        width = max(len(label) for label in self.phase_timings)
+        header = f"{'method':<{width}}  " + "".join(
+            f"{p + ' (s)':>12}" for p in phases
+        ) + f"{'peak rss':>12}"
+        lines = [header]
+        for label in sorted(self.phase_timings):
+            report = self.phase_timings[label]
+            row = f"{label:<{width}}  "
+            for phase in phases:
+                wall = report.get(phase, {}).get("wall_s", 0.0)
+                row += f"{wall:>12.2f}"
+            peak = max(
+                (entry.get("peak_rss_bytes", 0) for entry in report.values()),
+                default=0,
+            )
+            row += f"{peak / 2**20:>10.0f}MB"
+            lines.append(row)
+        return "\n".join(lines)
+
 
 def _resolve(run: RunStore | str | Path, spec: GridSpec | None) -> tuple[RunStore, GridSpec]:
     store = run if isinstance(run, RunStore) else RunStore(run)
@@ -81,10 +120,13 @@ def _resolve(run: RunStore | str | Path, spec: GridSpec | None) -> tuple[RunStor
 
 def grid_status(run: RunStore | str | Path, spec: GridSpec | None = None) -> GridStatus:
     """How much of the grid is done, and which cells are still missing."""
+    from repro.obs import merge_phase_reports
+
     store, spec = _resolve(run, spec)
     cells = spec.expand()
     missing: list[GridCell] = []
     hits = misses = 0
+    timings: dict[str, dict] = {}
     for cell in cells:
         result = store.load_cell(cell.key)
         if result is None:
@@ -95,6 +137,11 @@ def grid_status(run: RunStore | str | Path, spec: GridSpec | None = None) -> Gri
             hits += 1
         elif state == "miss":
             misses += 1
+        phases = result.extras.get("phases")
+        if phases:
+            timings[cell.method_label] = merge_phase_reports(
+                timings.get(cell.method_label), phases
+            )
     augmented_dir = store.run_dir / "augmented"
     n_cached = len(list(augmented_dir.glob("*.npz"))) if augmented_dir.exists() else 0
     return GridStatus(
@@ -105,6 +152,7 @@ def grid_status(run: RunStore | str | Path, spec: GridSpec | None = None) -> Gri
         n_augmentations_cached=n_cached,
         augmentation_hits=hits,
         augmentation_misses=misses,
+        phase_timings=timings,
     )
 
 

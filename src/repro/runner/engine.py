@@ -83,14 +83,17 @@ def _process_unit(
     """
     from repro.cvae.cache import AugmentationCache
     from repro.eval.protocol import evaluate_prepared
+    from repro.obs import PhaseProfiler
     from repro.registry import build_method
     from repro.utils.persist import canonical_json
 
     if not scenarios:
         return 0
-    experiment = prepared.load_or_prepare(
-        spec, unit.target, unit.seed, store.prepared_dir, dataset=dataset
-    )
+    profiler = PhaseProfiler()
+    with profiler.phase("prepare"):
+        experiment = prepared.load_or_prepare(
+            spec, unit.target, unit.seed, store.prepared_dir, dataset=dataset
+        )
     method = build_method(dict(unit.method_config), seed=unit.seed)
     if hasattr(method, "set_augmentation_cache"):
         # Augmentations depend only on (dataset, target, seed, CVAE knobs),
@@ -100,9 +103,16 @@ def _process_unit(
             AugmentationCache(store.run_dir / "augmented"),
             token=canonical_json({"dataset": spec.dataset.to_dict()}),
         )
-    results = evaluate_prepared(method, experiment, scenarios=scenarios, k=spec.k)
+    # Fit outside evaluate_prepared so the profiler can attribute fit vs
+    # score time; fit=False then skips refitting, identical behaviour.
+    with profiler.phase("fit"):
+        method.fit(experiment.ctx)
+    with profiler.phase("score"):
+        results = evaluate_prepared(
+            method, experiment, scenarios=scenarios, k=spec.k, fit=False
+        )
 
-    extras: dict[str, object] = {}
+    extras: dict[str, object] = {"phases": profiler.report()}
     augmented = getattr(method, "augmented", None)
     if augmented is not None:
         from repro.cvae.augment import rating_diversity

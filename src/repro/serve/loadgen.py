@@ -20,6 +20,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.obs import Histogram
+
 
 def zipf_probabilities(n: int, alpha: float) -> np.ndarray:
     """Normalized P(rank r) ∝ 1/(r+1)^alpha for ranks 0..n-1."""
@@ -61,16 +63,40 @@ class LoadReport:
         return self.n_requests / self.elapsed if self.elapsed > 0 else 0.0
 
     def percentile(self, q: float) -> float:
+        """Exact percentile from the raw latency array."""
         return float(np.percentile(self.latencies, q))
 
+    def latency_histogram(self) -> Histogram:
+        """The latencies as a shared-layout :class:`~repro.obs.Histogram`.
+
+        Same bucket edges as the service-side span histograms, so
+        loadgen-reported and service-reported percentiles are comparable
+        bucket-for-bucket (both within one bucket ratio, ~1.585x, of the
+        true quantile).
+        """
+        hist = Histogram()
+        hist.observe_many(self.latencies[~np.isnan(self.latencies)])
+        return hist
+
     def to_dict(self) -> dict:
+        """Summary for reports: histogram-derived p50/p99 (see above).
+
+        ``p50_ms``/``p99_ms`` come from the shared log-bucket histogram —
+        directly comparable with service-side span percentiles, at bucket
+        resolution.  The exact array percentiles stay available through
+        :meth:`percentile` and ride along as ``p50_exact_ms``/
+        ``p99_exact_ms``.
+        """
+        hist = self.latency_histogram()
         return {
             "n_requests": self.n_requests,
             "offered_rate": self.offered_rate,
             "elapsed_s": self.elapsed,
             "qps": self.qps,
-            "p50_ms": self.percentile(50) * 1e3,
-            "p99_ms": self.percentile(99) * 1e3,
+            "p50_ms": hist.percentile(50) * 1e3,
+            "p99_ms": hist.percentile(99) * 1e3,
+            "p50_exact_ms": self.percentile(50) * 1e3,
+            "p99_exact_ms": self.percentile(99) * 1e3,
         }
 
 

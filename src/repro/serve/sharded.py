@@ -34,13 +34,15 @@ import threading
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 
 import numpy as np
 
 from repro.core.interface import Recommendation
 from repro.data.tasks import PreferenceTask
+from repro.obs import MetricsRegistry, merge_snapshots, strip_gauges
 from repro.service.batching import MicroBatcher
-from repro.service.service import ServeRequest
+from repro.service.service import ServeRequest, service_stats_view
 from repro.serve.worker import CONTROL_ID, WorkerOptions, run_worker
 
 #: resubmits after a worker death: one replacement try, then fail the call.
@@ -71,6 +73,13 @@ class _Shard:
     conn: object = None
     ready: threading.Event = field(default_factory=threading.Event)
     batcher: MicroBatcher | None = None
+    #: freshest registry snapshot received from the live worker (updated
+    #: by stats() RPCs and the supervisor's heartbeat polls).
+    last_metrics: dict | None = None
+    #: accumulated gauge-stripped snapshots of every dead predecessor —
+    #: the fold that keeps counters from vanishing on restart.
+    retired_metrics: dict | None = None
+    metrics_poll_pending: bool = False
 
 
 def default_start_method() -> str:
@@ -139,8 +148,11 @@ class ShardedService:
         self._ctx = mp.get_context(start_method or default_start_method())
         self._request_timeout = request_timeout
         self.heartbeat_interval = heartbeat_interval
-        self.n_requests = 0
-        self._count_lock = threading.Lock()
+        # Front-end registry: request/restart counters plus the
+        # coalescing histograms (queue wait, batch size, RPC and
+        # end-to-end round trips).  Worker registries merge into it in
+        # stats().
+        self.metrics = MetricsRegistry()
         self._closing = False
         self._closed = False
         self._shards = [_Shard(index=i) for i in range(n_workers)]
@@ -151,6 +163,7 @@ class ShardedService:
                 self._make_flush(shard),
                 max_batch=max_batch,
                 max_wait_ms=max_wait_ms,
+                metrics=self.metrics,
             )
         self._stop = threading.Event()
         self._supervisor = threading.Thread(
@@ -217,6 +230,16 @@ class ShardedService:
                 return
             shard.generation += 1
             shard.restarts += 1
+            self.metrics.inc("serve.restarts")
+            # Fold the dead worker's last-known snapshot into the shard's
+            # retired totals so its counters and histograms survive the
+            # restart.  Gauges are stripped: they described instantaneous
+            # state (cache size, pending depth) that died with the process.
+            if shard.last_metrics is not None:
+                shard.retired_metrics = merge_snapshots(
+                    shard.retired_metrics, strip_gauges(shard.last_metrics)
+                )
+                shard.last_metrics = None
             stale = list(shard.pending.items())
             shard.pending.clear()
             try:
@@ -243,11 +266,54 @@ class ShardedService:
                     pass  # replacement died instantly; next revival resubmits
 
     def _supervise(self) -> None:
-        """Heartbeat: poll worker liveness as a backstop to pipe EOF."""
+        """Heartbeat: poll worker liveness as a backstop to pipe EOF.
+
+        Each tick also refreshes every live shard's ``last_metrics``
+        snapshot (fire-and-forget, so a busy worker never stalls the
+        supervisor) — that copy is what :meth:`_revive` folds into the
+        retired totals when a worker dies without warning.
+        """
         while not self._stop.wait(self.heartbeat_interval):
             for shard in self._shards:
                 if shard.proc is not None and not shard.proc.is_alive():
                     self._revive(shard, shard.generation)
+                else:
+                    self._poll_shard_metrics(shard)
+
+    def _poll_shard_metrics(self, shard: _Shard) -> None:
+        """Refresh one shard's last-known metrics without blocking.
+
+        Lock-free on purpose: the flag is only tested-and-set here (the
+        supervisor is the sole caller) and the done callback may fire
+        inside :meth:`_revive` while ``shard.lock`` is held, so it must
+        not take the lock — plain attribute assignment is atomic.
+        """
+        if shard.metrics_poll_pending or self._closed:
+            return
+        shard.metrics_poll_pending = True
+        generation = shard.generation
+
+        def _done(future: Future) -> None:
+            shard.metrics_poll_pending = False
+            if future.cancelled() or future.exception() is not None:
+                return
+            if shard.generation != generation:
+                # The worker this poll targeted was restarted while the
+                # reply was in flight; its snapshot was already folded
+                # into the retired totals — stashing it again would
+                # double-count on the next fold.
+                return
+            payload = future.result()
+            snap = payload.get("metrics") if isinstance(payload, dict) else None
+            if snap:
+                shard.last_metrics = snap
+
+        try:
+            _, future = self._call(shard, "stats", None)
+        except RuntimeError:
+            shard.metrics_poll_pending = False
+            return
+        future.add_done_callback(_done)
 
     # -- RPC ------------------------------------------------------------
     def _call(self, shard: _Shard, kind: str, payload) -> tuple[int, Future]:
@@ -266,13 +332,16 @@ class ShardedService:
         return req_id, future
 
     def _rpc(self, shard: _Shard, kind: str, payload=None):
+        t0 = perf_counter()
         req_id, future = self._call(shard, kind, payload)
         try:
-            return future.result(timeout=self._request_timeout)
+            result = future.result(timeout=self._request_timeout)
         except TimeoutError:
             with shard.lock:
                 shard.pending.pop(req_id, None)
             raise
+        self.metrics.observe("serve.rpc.seconds", perf_counter() - t0)
+        return result
 
     def _make_flush(self, shard: _Shard):
         def flush(requests, _instances) -> list[Recommendation]:
@@ -298,9 +367,17 @@ class ShardedService:
         """
         shard = self._shards[self.shard_of(user_row)]
         request = ServeRequest(int(user_row), int(k), task, bool(exclude_seen))
-        with self._count_lock:
-            self.n_requests += 1
-        return shard.batcher.submit(request, None)
+        self.metrics.inc("serve.requests")
+        if not self.metrics.enabled:
+            return shard.batcher.submit(request, None)
+        t0 = perf_counter()
+        future = shard.batcher.submit(request, None)
+        future.add_done_callback(
+            lambda _f: self.metrics.observe(
+                "serve.request.seconds", perf_counter() - t0
+            )
+        )
+        return future
 
     def recommend(
         self,
@@ -381,8 +458,23 @@ class ShardedService:
         return all(shard.ready.wait(timeout) for shard in self._shards)
 
     # -- observability ---------------------------------------------------
+    @property
+    def n_requests(self) -> int:
+        """Total requests accepted by the front-end (legacy attribute)."""
+        return int(self.metrics.counter("serve.requests"))
+
     def stats(self) -> dict:
-        """Front-end counters plus each worker's own ``stats()`` snapshot."""
+        """Front-end counters plus each worker's own ``stats()`` snapshot.
+
+        The legacy shape is preserved (``workers`` / ``requests`` /
+        ``restarts`` / ``shards[*].worker``) and one new key is added:
+        ``metrics`` — the front-end registry merged with every shard's
+        registry snapshot *including* gauge-stripped snapshots of dead
+        predecessors, so counter totals survive worker restarts.  Each
+        per-shard ``worker`` view is rendered from its merged (retired +
+        live) snapshot for the same reason.
+        """
+        parts = [self.metrics.snapshot()]
         shards = []
         for shard in self._shards:
             entry: dict = {
@@ -391,17 +483,35 @@ class ShardedService:
                 "batching": shard.batcher.stats(),
             }
             try:
-                entry["worker"] = self._rpc(shard, "stats")
+                worker = self._rpc(shard, "stats")
             except Exception as exc:
-                entry["worker"] = {"error": str(exc)}
+                worker = {"error": str(exc)}
+            live = worker.pop("metrics", None) if isinstance(worker, dict) else None
+            if live is not None:
+                shard.last_metrics = live
+            retired = shard.retired_metrics
+            if live is not None or retired is not None:
+                merged = merge_snapshots(retired, live)
+                parts.append(merged)
+                if retired is not None and isinstance(worker, dict):
+                    # Fold the dead predecessors' totals back into the
+                    # per-shard view; gauges (cache size, pending) come
+                    # from the live worker only.
+                    pid = worker.get("pid")
+                    batching = worker.get("batching")
+                    worker = service_stats_view(merged)
+                    if pid is not None:
+                        worker["pid"] = pid
+                    if batching is not None:
+                        worker["batching"] = batching
+            entry["worker"] = worker
             shards.append(entry)
-        with self._count_lock:
-            n_requests = self.n_requests
         return {
             "workers": len(self._shards),
-            "requests": n_requests,
+            "requests": self.n_requests,
             "restarts": sum(s.restarts for s in self._shards),
             "shards": shards,
+            "metrics": merge_snapshots(*parts),
         }
 
     # -- lifecycle --------------------------------------------------------

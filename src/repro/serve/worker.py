@@ -97,7 +97,14 @@ def _handle(service, kind: str, payload):
         meta_lr, steps = payload
         return service.meta_refresh(meta_lr=meta_lr, steps=steps)
     if kind == "stats":
-        return {**service.stats(), "pid": os.getpid()}
+        # The registry snapshot rides along so the front-end can merge
+        # per-shard metrics (and keep a last-known copy that survives
+        # this worker's death — see ShardedService._revive).
+        return {
+            **service.stats(),
+            "pid": os.getpid(),
+            "metrics": service.metrics.snapshot(),
+        }
     if kind == "ping":
         return "pong"
     raise ValueError(f"unknown request kind: {kind!r}")

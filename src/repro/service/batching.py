@@ -26,6 +26,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.data.negative_sampling import EvalInstance
+from repro.obs import MetricsRegistry
 
 #: signature of the batched scorer: (states, instances) -> list of score arrays
 BatchScoreFn = Callable[[Sequence[Any], Sequence[EvalInstance]], list[np.ndarray]]
@@ -36,6 +37,7 @@ class _Request:
     state: Any
     instance: EvalInstance
     future: Future = field(default_factory=Future)
+    submitted: float = field(default_factory=time.perf_counter)
 
 
 class MicroBatcher:
@@ -54,6 +56,11 @@ class MicroBatcher:
     autostart:
         start the daemon worker thread; tests pass ``False`` and call
         :meth:`process_once` by hand.
+    metrics:
+        optional :class:`~repro.obs.MetricsRegistry`; when given, each
+        flush records per-request queue wait into
+        ``serve.queue_wait.seconds`` and the flush size into
+        ``serve.batch.size``.
     """
 
     def __init__(
@@ -62,6 +69,7 @@ class MicroBatcher:
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
         autostart: bool = True,
+        metrics: MetricsRegistry | None = None,
     ):
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
@@ -70,6 +78,7 @@ class MicroBatcher:
         self.max_wait = max_wait_ms / 1000.0
         self._queue: queue.Queue[_Request | None] = queue.Queue()
         self._closed = False
+        self._metrics = metrics
         self.n_requests = 0
         self.n_batches = 0
         self.largest_batch = 0
@@ -126,6 +135,13 @@ class MicroBatcher:
             return 0
         self.n_batches += 1
         self.largest_batch = max(self.largest_batch, len(batch))
+        if self._metrics is not None and self._metrics.enabled:
+            now = time.perf_counter()
+            for request in batch:
+                self._metrics.observe(
+                    "serve.queue_wait.seconds", now - request.submitted
+                )
+            self._metrics.observe("serve.batch.size", len(batch))
         try:
             scores = self._score_fn(
                 [r.state for r in batch], [r.instance for r in batch]

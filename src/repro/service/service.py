@@ -36,10 +36,45 @@ import numpy as np
 from repro.core.interface import Recommendation, Recommender
 from repro.data.negative_sampling import EvalInstance
 from repro.data.tasks import PreferenceTask, append_interaction, task_fingerprint
+from repro.obs import MetricsRegistry
 from repro.service.batching import MicroBatcher
 from repro.service.cache import LRUCache
 
 _MISS = object()
+
+
+def service_stats_view(snapshot: dict) -> dict:
+    """Render a registry snapshot as the legacy ``stats()`` dict.
+
+    The single mapping from metric names to the public ``stats()`` keys,
+    shared by :meth:`RecommenderService.stats` and the sharded front-end
+    (which applies it to *merged* worker snapshots so per-shard views
+    survive worker restarts).  Key names and nesting are the pre-registry
+    contract — do not rename.
+    """
+    c = snapshot.get("counters", {})
+    g = snapshot.get("gauges", {})
+    return {
+        "requests": int(c.get("serve.requests", 0)),
+        "cache": {
+            "size": int(g.get("serve.cache.size", 0)),
+            "maxsize": int(g.get("serve.cache.maxsize", 0)),
+            "hits": int(c.get("serve.cache.hits", 0)),
+            "misses": int(c.get("serve.cache.misses", 0)),
+            "evictions": int(c.get("serve.cache.evictions", 0)),
+        },
+        "adaptation": {
+            "batches": int(c.get("serve.adapt.batches", 0)),
+            "users": int(c.get("serve.adapt.users", 0)),
+            "pending": int(g.get("serve.adapt.pending", 0)),
+        },
+        "stream": {
+            "events": int(c.get("serve.stream.events", 0)),
+            "refreshes": int(c.get("serve.stream.refreshes", 0)),
+            "dirty_users": int(g.get("serve.stream.dirty_users", 0)),
+            "observed_users": int(g.get("serve.stream.observed_users", 0)),
+        },
+    }
 
 
 @dataclass(frozen=True)
@@ -84,6 +119,7 @@ class RecommenderService:
         refresh_every: int = 0,
         refresh_lr: float = 0.1,
         refresh_steps: int | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.method = method
         serving = method.serving  # raises if the method is not fitted/loaded
@@ -110,19 +146,19 @@ class RecommenderService:
         self._tasks: dict[int, PreferenceTask] = {}
         self._observed: dict[int, set[int]] = {}
         self._dirty_users: set[int] = set()
-        self.n_requests = 0
-        self.n_adapt_batches = 0
-        self.n_adapted_users = 0
-        self.n_events = 0
-        self.n_refreshes = 0
         self._events_since_refresh = 0
-        self._pending_depth = 0
+        # Per-instance registry: every counter the old hand-rolled
+        # attributes tracked now lives here, so stats() is a pure view
+        # over a snapshot and cross-process merging comes for free.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.add_collector(self._collect_metrics)
         self._batcher: MicroBatcher | None = None
         if batching:
             self._batcher = MicroBatcher(
                 self._score_flush,
                 max_batch=max_batch,
                 max_wait_ms=max_wait_ms,
+                metrics=self.metrics,
             )
 
     @classmethod
@@ -136,6 +172,46 @@ class RecommenderService:
         O(open).  Pass ``mmap_mode=None`` for the old eager load.
         """
         return cls(Recommender.load(path, mmap_mode=mmap_mode), **kwargs)
+
+    def _collect_metrics(self, reg: MetricsRegistry) -> None:
+        """Snapshot-time collector: mirror cache + stream state as metrics.
+
+        The LRU keeps its own counters; they are copied in as *absolute*
+        totals (``set_counter``), which stays correct under additive
+        cross-process merging because each worker owns its own cache.
+        """
+        with self._cache_lock:
+            cache = self._cache.stats()
+            dirty = len(self._dirty_users)
+            observed = len(self._observed)
+        reg.set_counter("serve.cache.hits", cache["hits"])
+        reg.set_counter("serve.cache.misses", cache["misses"])
+        reg.set_counter("serve.cache.evictions", cache["evictions"])
+        reg.set_gauge("serve.cache.size", cache["size"])
+        reg.set_gauge("serve.cache.maxsize", cache["maxsize"])
+        reg.set_gauge("serve.stream.dirty_users", dirty)
+        reg.set_gauge("serve.stream.observed_users", observed)
+
+    # Legacy counter attributes, now read-only views over the registry.
+    @property
+    def n_requests(self) -> int:
+        return int(self.metrics.counter("serve.requests"))
+
+    @property
+    def n_adapt_batches(self) -> int:
+        return int(self.metrics.counter("serve.adapt.batches"))
+
+    @property
+    def n_adapted_users(self) -> int:
+        return int(self.metrics.counter("serve.adapt.users"))
+
+    @property
+    def n_events(self) -> int:
+        return int(self.metrics.counter("serve.stream.events"))
+
+    @property
+    def n_refreshes(self) -> int:
+        return int(self.metrics.counter("serve.stream.refreshes"))
 
     # ------------------------------------------------------------------
     def register_user_history(self, task: PreferenceTask) -> None:
@@ -181,12 +257,12 @@ class RecommenderService:
             self._cache.invalidate(key)
             self._observed.setdefault(key, set()).add(item)
             self._dirty_users.add(key)
-            self.n_events += 1
             self._events_since_refresh += 1
             due = (
                 self.refresh_every > 0
                 and self._events_since_refresh >= self.refresh_every
             )
+        self.metrics.inc("serve.stream.events")
         if due:
             self.meta_refresh()
 
@@ -211,14 +287,15 @@ class RecommenderService:
             self._events_since_refresh = 0
         if not dirty:
             return {"n_tasks": 0, "delta_rms": 0.0}
-        info = self.method.meta_refresh(
-            [self._tasks.get(user) for user in dirty],
-            meta_lr=self.refresh_lr if meta_lr is None else meta_lr,
-            steps=self.refresh_steps if steps is None else steps,
-        )
+        with self.metrics.span("serve.refresh", size=len(dirty)):
+            info = self.method.meta_refresh(
+                [self._tasks.get(user) for user in dirty],
+                meta_lr=self.refresh_lr if meta_lr is None else meta_lr,
+                steps=self.refresh_steps if steps is None else steps,
+            )
         with self._cache_lock:
             self._cache.clear()
-            self.n_refreshes += 1
+        self.metrics.inc("serve.stream.refreshes")
         return info
 
     def _cached_state(self, user_row: int, task: PreferenceTask | None):
@@ -249,15 +326,15 @@ class RecommenderService:
             self._cache.put(int(user_row), (fingerprint, state))
 
     def _count_adaptation(self, n_users: int) -> None:
-        with self._cache_lock:
-            self.n_adapt_batches += 1
-            self.n_adapted_users += n_users
+        self.metrics.inc("serve.adapt.batches")
+        self.metrics.inc("serve.adapt.users", n_users)
 
     def _adapted_state(self, user_row: int, task: PreferenceTask | None):
         hit, state, effective = self._cached_state(user_row, task)
         if hit:
             return state
-        state = self.method.adapt_user(effective)
+        with self.metrics.span("serve.adapt", size=1):
+            state = self.method.adapt_user(effective)
         self._count_adaptation(1)
         self._store_state(user_row, effective, state)
         return state
@@ -281,18 +358,19 @@ class RecommenderService:
             # exception lands on every waiter's future) cannot leak backlog
             # depth into the stats forever.
             try:
-                adapted = self.method.adapt_users(
-                    [entry.task for _, entry in pending]
-                )
+                with self.metrics.span("serve.adapt", size=len(pending)):
+                    adapted = self.method.adapt_users(
+                        [entry.task for _, entry in pending]
+                    )
                 self._count_adaptation(len(pending))
                 states = list(states)
                 for (i, entry), state in zip(pending, adapted):
                     states[i] = state
                     self._store_state(entry.user_row, entry.task, state)
             finally:
-                with self._cache_lock:
-                    self._pending_depth -= len(pending)
-        return self.method.score_with_state_batch(states, instances)
+                self.metrics.inc_gauge("serve.adapt.pending", -len(pending))
+        with self.metrics.span("serve.score", size=len(instances)):
+            return self.method.score_with_state_batch(states, instances)
 
     def _candidates_for(self, user_row: int, exclude_seen: bool) -> np.ndarray:
         serving = self.method.serving
@@ -324,8 +402,7 @@ class RecommenderService:
         if k <= 0:
             raise ValueError("k must be positive")
         pool = self._candidates_for(int(user_row), exclude_seen)
-        with self._cache_lock:
-            self.n_requests += 1
+        self.metrics.inc("serve.requests")
         if pool.size == 0:
             empty = np.array([], dtype=int)
             return Recommendation(int(user_row), empty, np.array([], dtype=float))
@@ -338,13 +415,12 @@ class RecommenderService:
             hit, state, effective = self._cached_state(user_row, task)
             if not hit:
                 state = _PendingAdaptation(int(user_row), effective)
-                with self._cache_lock:
-                    self._pending_depth += 1
+                self.metrics.inc_gauge("serve.adapt.pending", 1)
             scores = self._batcher.score(state, instance)
         else:
-            scores = self.method.score_with_state(
-                self._adapted_state(user_row, task), instance
-            )
+            adapted = self._adapted_state(user_row, task)
+            with self.metrics.span("serve.score", size=1):
+                scores = self.method.score_with_state(adapted, instance)
         scores = np.asarray(scores, dtype=float)
         order = np.argsort(-scores, kind="stable")[:k]
         return Recommendation(int(user_row), pool[order], scores[order])
@@ -410,30 +486,31 @@ class RecommenderService:
             plan.append(entry)
         adapted: list = []
         if slots:
-            adapted = self.method.adapt_users([task for _, task in slots])
+            with self.metrics.span("serve.adapt", size=len(slots)):
+                adapted = self.method.adapt_users([task for _, task in slots])
             self._count_adaptation(len(slots))
             for (user, task), state in zip(slots, adapted):
                 self._store_state(user, task, state)
-        with self._cache_lock:
-            self.n_requests += len(requests)
+        self.metrics.inc("serve.requests", len(requests))
         results = []
         empty = np.array([], dtype=int)
-        for request, pool, (kind, value) in zip(requests, pools, plan):
-            user = int(request.user_row)
-            if pool.size == 0:
-                results.append(
-                    Recommendation(user, empty, np.array([], dtype=float))
+        with self.metrics.span("serve.score", size=len(requests)):
+            for request, pool, (kind, value) in zip(requests, pools, plan):
+                user = int(request.user_row)
+                if pool.size == 0:
+                    results.append(
+                        Recommendation(user, empty, np.array([], dtype=float))
+                    )
+                    continue
+                instance = EvalInstance(
+                    user_row=user, pos_item=int(pool[0]), neg_items=pool[1:]
                 )
-                continue
-            instance = EvalInstance(
-                user_row=user, pos_item=int(pool[0]), neg_items=pool[1:]
-            )
-            state = value if kind == "state" else adapted[value]
-            scores = np.asarray(
-                self.method.score_with_state(state, instance), dtype=float
-            )
-            order = np.argsort(-scores, kind="stable")[: request.k]
-            results.append(Recommendation(user, pool[order], scores[order]))
+                state = value if kind == "state" else adapted[value]
+                scores = np.asarray(
+                    self.method.score_with_state(state, instance), dtype=float
+                )
+                order = np.argsort(-scores, kind="stable")[: request.k]
+                results.append(Recommendation(user, pool[order], scores[order]))
         return results
 
     def _states_for(self, user_rows: list[int]) -> list:
@@ -450,7 +527,8 @@ class RecommenderService:
                 misses[int(user)] = effective
         fresh: dict[int, object] = {}
         if misses:
-            adapted = self.method.adapt_users(list(misses.values()))
+            with self.metrics.span("serve.adapt", size=len(misses)):
+                adapted = self.method.adapt_users(list(misses.values()))
             self._count_adaptation(len(misses))
             fresh = dict(zip(misses, adapted))
             for user, task in misses.items():
@@ -469,9 +547,9 @@ class RecommenderService:
         the temporal-split protocol's entry point.
         """
         states = self._states_for([int(inst.user_row) for inst in instances])
-        with self._cache_lock:
-            self.n_requests += len(instances)
-        return self.method.score_with_state_batch(states, instances)
+        self.metrics.inc("serve.requests", len(instances))
+        with self.metrics.span("serve.score", size=len(instances)):
+            return self.method.score_with_state_batch(states, instances)
 
     def recommend_many(
         self,
@@ -496,11 +574,11 @@ class RecommenderService:
             )
             for i in kept
         ]
-        with self._cache_lock:
-            self.n_requests += len(user_rows)
-        score_lists = self.method.score_with_state_batch(
-            [states[i] for i in kept], instances
-        )
+        self.metrics.inc("serve.requests", len(user_rows))
+        with self.metrics.span("serve.score", size=len(instances)):
+            score_lists = self.method.score_with_state_batch(
+                [states[i] for i in kept], instances
+            )
         empty = np.array([], dtype=int)
         results = [
             Recommendation(int(u), empty, np.array([], dtype=float))
@@ -518,29 +596,14 @@ class RecommenderService:
     def stats(self) -> dict:
         """Request, cache, adaptation and batching counters.
 
+        A pure view over ``self.metrics.snapshot()`` (see
+        :func:`service_stats_view` for the name mapping); histograms ride
+        along in the snapshot itself for callers that want latencies.
         ``adaptation.pending`` is the number of cache-missed requests
         currently waiting for a micro-batch flush to fine-tune them — the
         cold-start backlog depth at this instant.
         """
-        with self._cache_lock:
-            adaptation = {
-                "batches": self.n_adapt_batches,
-                "users": self.n_adapted_users,
-                "pending": self._pending_depth,
-            }
-            stream = {
-                "events": self.n_events,
-                "refreshes": self.n_refreshes,
-                "dirty_users": len(self._dirty_users),
-                "observed_users": len(self._observed),
-            }
-            n_requests = self.n_requests
-        out = {
-            "requests": n_requests,
-            "cache": self._cache.stats(),
-            "adaptation": adaptation,
-            "stream": stream,
-        }
+        out = service_stats_view(self.metrics.snapshot())
         if self._batcher is not None:
             out["batching"] = self._batcher.stats()
         return out

@@ -299,6 +299,132 @@ class TestSupervision:
         assert np.array_equal(want.scores, got.scores)
 
 
+class TestMetricsMerging:
+    """The front-end's merged observability snapshot survives restarts."""
+
+    def test_merged_snapshot_has_serving_histograms(self, artifact):
+        path, tasks = artifact
+        users = sorted(tasks)[:8]
+        with ShardedService(path, n_workers=2, max_wait_ms=2.0) as service:
+            assert service.wait_ready(timeout=60.0)
+            for user in users:
+                service.register_user_history(tasks[user])
+            # Warm pass (drained) so the Zipfian stream's hot head hits
+            # the per-shard LRUs instead of coalescing into one all-miss
+            # batch per shard.
+            for future in [service.submit(u, k=5) for u in users]:
+                future.result(timeout=60.0)
+            stream = zipfian_users(users, 32, alpha=1.1, seed=7)
+            futures = [service.submit(int(u), k=5) for u in stream]
+            for future in futures:
+                future.result(timeout=60.0)
+            stats = service.stats()
+        total = len(users) + 32
+        # Legacy keys keep their names and meanings ...
+        assert stats["requests"] == total
+        assert stats["workers"] == 2
+        # ... and the new merged registry snapshot rides alongside.
+        snap = stats["metrics"]
+        hists = snap["histograms"]
+        assert {
+            "serve.queue_wait.seconds",
+            "serve.adapt.seconds",
+            "serve.score.seconds",
+            "serve.rpc.seconds",
+            "serve.request.seconds",
+        } <= set(hists)
+        assert hists["serve.queue_wait.seconds"]["count"] == total
+        assert hists["serve.request.seconds"]["count"] == total
+        # Worker-side cache traffic shows up in the merged counters too.
+        counters = snap["counters"]
+        assert counters.get("serve.cache.hits", 0) >= 1
+        assert counters.get("serve.cache.misses", 0) >= 1
+
+    def test_worker_restart_preserves_counter_totals(self, artifact):
+        """Regression: killing a worker must not zero its merged counters.
+
+        The front-end folds the dead worker's last-known snapshot into the
+        shard's retired totals at revive time, so cumulative counters
+        (requests served, cache hits/misses) only ever grow across a
+        restart even though the replacement starts from zero.
+        """
+        path, tasks = artifact
+        users = sorted(tasks)[:6]
+        with ShardedService(
+            path, n_workers=2, max_wait_ms=2.0, heartbeat_interval=0.05
+        ) as service:
+            assert service.wait_ready(timeout=60.0)
+            for user in users:
+                service.register_user_history(tasks[user])
+            service.recommend_many(users, k=5)
+            service.recommend_many(users, k=5)  # second pass: cache hits
+            # This stats() round-trip stashes each worker's snapshot as the
+            # shard's last-known metrics — what the fold preserves.
+            before = service.stats()["metrics"]["counters"]
+            assert before.get("serve.cache.hits", 0) >= len(users)
+
+            victim = service._shards[0]
+            victim.proc.kill()
+            deadline = time.monotonic() + 10.0
+            while victim.restarts == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert victim.restarts >= 1
+            # The replacement serves fresh traffic on a cleared cache.
+            service.recommend_many(users, k=5)
+            after = service.stats()["metrics"]["counters"]
+
+        for key in ("serve.cache.hits", "serve.cache.misses"):
+            assert after.get(key, 0) >= before.get(key, 0), key
+        assert after.get("serve.restarts", 0) >= 1
+        # The new worker's traffic accumulates on top of the retired totals.
+        assert after.get("serve.cache.misses", 0) > before.get(
+            "serve.cache.misses", 0
+        )
+
+    def test_cli_serve_writes_merged_metrics_json(self, artifact, tmp_path):
+        """`repro serve --workers 2 --metrics-json` — the acceptance path."""
+        import json as json_module
+
+        from repro.experiments.cli import main as cli_main
+
+        path, _ = artifact
+        out = tmp_path / "metrics.json"
+        code = cli_main(
+            [
+                "serve",
+                "--artifact",
+                path,
+                "--requests",
+                "24",
+                "--distinct-users",
+                "6",
+                "--workers",
+                "2",
+                "--zipf-alpha",
+                "1.1",
+                "--metrics-json",
+                str(out),
+                "--metrics-interval",
+                "0.2",
+            ]
+        )
+        assert code == 0
+        payload = json_module.loads(out.read_text())
+        # The dump is the full stats view plus the merged registry snapshot.
+        assert payload["requests"] == 24
+        assert payload["workers"] == 2
+        assert "restarts" in payload
+        for entry in payload["shards"]:
+            assert {"cache", "adaptation"} <= set(entry["worker"])
+        hists = payload["metrics"]["histograms"]
+        assert {
+            "serve.queue_wait.seconds",
+            "serve.adapt.seconds",
+            "serve.score.seconds",
+        } <= set(hists)
+        assert hists["serve.queue_wait.seconds"]["count"] == 24
+
+
 class TestLoadGenerator:
     def test_zipf_probabilities_normalized_and_skewed(self):
         p = zipf_probabilities(100, alpha=1.1)
