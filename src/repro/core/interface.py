@@ -122,11 +122,17 @@ class ServingState:
 
 @dataclass(frozen=True)
 class Recommendation:
-    """Top-k answer for one user: items sorted by descending score."""
+    """Top-k answer for one user: items sorted by descending score.
+
+    ``degraded`` marks answers produced by a fallback tier (popularity
+    prior instead of the model) when the serving stack could not produce
+    a full-quality answer in time — see :mod:`repro.serve.resilience`.
+    """
 
     user_row: int
     items: np.ndarray
     scores: np.ndarray
+    degraded: bool = False
 
     def __len__(self) -> int:
         return self.items.size
@@ -374,6 +380,12 @@ class Recommender(abc.ABC):
             serving.item_content, dtype=np.float32
         )
         payload[f"{_SERVING_PREFIX}seen"] = serving.seen.astype(np.uint8)
+        # Popularity prior for the degraded fallback tier: per-item global
+        # interaction counts, enough for a model-free top-k when a shard
+        # cannot answer.  Loaders that predate it ignore the extra member.
+        payload[f"{_SERVING_PREFIX}popularity"] = serving.seen.sum(
+            axis=0, dtype=np.float32
+        )
         header = {
             "format": ARTIFACT_FORMAT,
             "method": self.registry_name(),

@@ -158,6 +158,32 @@ def _build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="seconds between --metrics-json dumps",
     )
+    p.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.5,
+        help="seconds between worker liveness polls (sharded mode)",
+    )
+    p.add_argument(
+        "--resubmit-limit",
+        type=int,
+        default=1,
+        help="resubmits of an in-flight request after a worker death "
+        "before its future gets the error (sharded mode)",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request end-to-end deadline in ms; arms the resilient "
+        "serving path (degraded popularity answers past deadline)",
+    )
+    p.add_argument(
+        "--fault-plan",
+        type=Path,
+        default=None,
+        help="JSON FaultPlan file injected into the workers (chaos replay)",
+    )
 
     # -- experiment grids ----------------------------------------------
     p = sub.add_parser("grid", help="sharded, resumable experiment grids")
@@ -308,12 +334,33 @@ def _run_serve(args: argparse.Namespace) -> int:
     from repro.serve import ShardedService, mixed_zipfian_stream, zipfian_users
     from repro.utils.timing import Timer
 
+    if args.workers <= 0 and (
+        args.fault_plan is not None or args.deadline_ms is not None
+    ):
+        print("--fault-plan/--deadline-ms require sharded mode (--workers N)")
+        return 2
     if args.workers > 0:
+        from repro.serve import FaultPlan, ResilienceConfig
+
+        fault_plan = None
+        if args.fault_plan is not None:
+            fault_plan = FaultPlan.from_dict(
+                json.loads(args.fault_plan.read_text())
+            )
+        resilience = None
+        if args.deadline_ms is not None:
+            resilience = ResilienceConfig(
+                deadline=args.deadline_ms / 1000.0, seed=args.seed
+            )
         service = ShardedService(
             args.artifact,
             n_workers=args.workers,
             cache_size=args.cache_size,
             refresh_every=args.refresh_every,
+            heartbeat_interval=args.heartbeat_interval,
+            resubmit_limit=args.resubmit_limit,
+            resilience=resilience,
+            fault_plan=fault_plan,
         )
         service.wait_ready(timeout=120.0)
         serving = Recommender.load(args.artifact, mmap_mode="r").serving

@@ -46,6 +46,9 @@ class GridStatus:
     #: per-method phase timings folded over every stored cell:
     #: ``{method_label: {phase: {calls, wall_s, peak_rss_bytes}}}``
     phase_timings: dict[str, dict] = field(default_factory=dict)
+    #: crash records of still-missing cells: ``(cell, failure payload)``
+    #: with the error message and full traceback the engine persisted.
+    failures: list[tuple[GridCell, dict]] = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
@@ -63,6 +66,27 @@ class GridStatus:
             lines.append(
                 f"  missing {count} cell(s): {label} on {target} seed={seed}"
             )
+        # One line per failed *unit* (every cell of a unit records the same
+        # crash), with the traceback's culprit line so the status table
+        # answers "why" without the user digging into the run directory.
+        seen_units: set[tuple[str, int, str]] = set()
+        for cell, payload in self.failures:
+            unit = (cell.target, cell.seed, cell.method_label)
+            if unit in seen_units:
+                continue
+            seen_units.add(unit)
+            target, seed, label = unit
+            lines.append(
+                f"  FAILED {label} on {target} seed={seed}: "
+                f"{payload.get('error', 'unknown error')}"
+            )
+            trace = payload.get("traceback")
+            if trace:
+                culprit = [
+                    ln for ln in trace.strip().splitlines() if ln.strip()
+                ]
+                for ln in culprit[-3:-1]:
+                    lines.append(f"    {ln.strip()}")
         if (
             self.n_augmentations_cached
             or self.augmentation_hits
@@ -127,10 +151,16 @@ def grid_status(run: RunStore | str | Path, spec: GridSpec | None = None) -> Gri
     missing: list[GridCell] = []
     hits = misses = 0
     timings: dict[str, dict] = {}
+    failed = store.failed_keys()
+    failures: list[tuple[GridCell, dict]] = []
     for cell in cells:
         result = store.load_cell(cell.key)
         if result is None:
             missing.append(cell)
+            if cell.key in failed:
+                payload = store.load_failure(cell.key)
+                if payload is not None:
+                    failures.append((cell, payload))
             continue
         state = result.extras.get("augmentation_cache")
         if state == "hit":
@@ -153,6 +183,7 @@ def grid_status(run: RunStore | str | Path, spec: GridSpec | None = None) -> Gri
         augmentation_hits=hits,
         augmentation_misses=misses,
         phase_timings=timings,
+        failures=failures,
     )
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import time
+import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -62,6 +63,27 @@ class GridRunReport:
 
 def _unit_description(unit: WorkUnit) -> str:
     return f"{unit.method_label} on {unit.target} seed={unit.seed}"
+
+
+def _record_unit_failure(
+    store: RunStore,
+    unit: WorkUnit,
+    scenarios: list[Scenario],
+    error: str,
+    traceback_text: str,
+) -> None:
+    """Stamp the failure (with its full traceback) on every missing cell.
+
+    Best-effort: a store that cannot be written must not mask the original
+    unit exception.
+    """
+    for scenario in scenarios:
+        try:
+            store.record_failure(
+                unit.cells[scenario], error, traceback_text=traceback_text
+            )
+        except OSError:
+            pass
 
 
 def _missing_scenarios(store: RunStore, unit: WorkUnit):
@@ -158,7 +180,9 @@ def _worker_run_unit(
     try:
         return unit_index, _process_unit(store, spec, unit, scenarios), None
     except Exception as exc:  # noqa: BLE001 — isolate unit failures
-        return unit_index, 0, f"{type(exc).__name__}: {exc}"
+        error = f"{type(exc).__name__}: {exc}"
+        _record_unit_failure(store, unit, scenarios, error, traceback.format_exc())
+        return unit_index, 0, error
 
 
 def run_grid(
@@ -244,7 +268,11 @@ def run_grid(
                     store, spec, unit, missing, dataset=dataset
                 )
             except Exception as exc:  # noqa: BLE001 — isolate unit failures
-                report.failures.append((desc, f"{type(exc).__name__}: {exc}"))
+                error = f"{type(exc).__name__}: {exc}"
+                _record_unit_failure(
+                    store, unit, missing, error, traceback.format_exc()
+                )
+                report.failures.append((desc, error))
                 say(f"[grid] FAILED {desc}: {exc}")
             else:
                 report.n_computed += n_computed

@@ -139,6 +139,9 @@ class RunStore:
         _atomic_write_bytes(
             self._json_path(cell.key), (json.dumps(payload, indent=1) + "\n").encode()
         )
+        # A completed cell supersedes any stale crash record from a
+        # previous attempt.
+        self.clear_failure(cell.key)
 
     def load_cell(self, key: str) -> CellResult | None:
         """Load a cell, or ``None`` for anything missing or not fully valid."""
@@ -184,6 +187,56 @@ class RunStore:
             score_lists=score_lists,
             extras=dict(payload.get("extras") or {}),
         )
+
+    # -- failures ------------------------------------------------------
+    def _error_path(self, key: str) -> Path:
+        return self.cells_dir / f"{key}.error.json"
+
+    def record_failure(
+        self, cell: GridCell, error: str, traceback_text: str | None = None
+    ) -> None:
+        """Persist why a cell crashed (``cells/<key>.error.json``).
+
+        The record is diagnostic only — it never makes the cell count as
+        complete, and a later successful :meth:`save_cell` clears it.
+        ``grid status`` surfaces the stored error and traceback so a
+        failed run explains itself without re-running.
+        """
+        payload = {
+            "format": _FORMAT_VERSION,
+            "key": cell.key,
+            "cell": cell.to_dict(),
+            "error": str(error),
+            "traceback": traceback_text,
+        }
+        _atomic_write_bytes(
+            self._error_path(cell.key),
+            (json.dumps(payload, indent=1) + "\n").encode(),
+        )
+
+    def load_failure(self, key: str) -> dict[str, Any] | None:
+        """The stored failure record for a cell, or ``None``."""
+        try:
+            payload = json.loads(self._error_path(key).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            return None
+        return payload
+
+    def clear_failure(self, key: str) -> None:
+        """Drop a cell's failure record (called after a successful save)."""
+        try:
+            self._error_path(key).unlink()
+        except OSError:
+            pass
+
+    def failed_keys(self) -> set[str]:
+        """Keys holding a failure record (whatever their completion state)."""
+        return {
+            path.name[: -len(".error.json")]
+            for path in self.cells_dir.glob("*.error.json")
+        }
 
     def is_complete(self, key: str) -> bool:
         return self.load_cell(key) is not None

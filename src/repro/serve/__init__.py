@@ -14,8 +14,16 @@ cleared cache.  Answers are bit-identical to the single-process
 :class:`~repro.service.RecommenderService` for the same request stream.
 :mod:`repro.serve.loadgen` provides the Zipfian open-loop harness used by
 ``benchmarks/bench_load.py``.
+
+Failure is a first-class workload: :mod:`repro.serve.faults` replays
+seeded fault schedules inside the workers, and :mod:`repro.serve
+.resilience` (armed via ``ShardedService(resilience=...)``) adds
+end-to-end deadlines, per-shard circuit breakers, bounded admission, and
+a degraded popularity fallback so the service keeps answering through
+crashes and overload.
 """
 
+from repro.serve.faults import FaultInjector, FaultPlan, FaultSpec, InjectedFault
 from repro.serve.loadgen import (
     LoadReport,
     StreamOp,
@@ -24,11 +32,29 @@ from repro.serve.loadgen import (
     run_open_loop,
     zipfian_users,
 )
+from repro.serve.resilience import (
+    CircuitBreaker,
+    CircuitOpen,
+    DeadlineExceeded,
+    PopularityFallback,
+    ResilienceConfig,
+    ServiceOverloaded,
+)
 from repro.serve.sharded import ShardedService
 from repro.serve.worker import WorkerOptions, run_worker
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpen",
+    "DeadlineExceeded",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "LoadReport",
+    "PopularityFallback",
+    "ResilienceConfig",
+    "ServiceOverloaded",
     "ShardedService",
     "StreamOp",
     "WorkerOptions",

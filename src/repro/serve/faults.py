@@ -1,0 +1,304 @@
+"""Deterministic fault injection for the sharded serving stack.
+
+A :class:`FaultPlan` is a seeded, JSON-constructible schedule of failures —
+worker crashes, injected RPC delay, slow or failing adaptation, artifact
+load failure, pipe drops — that the chaos suite and ``bench_chaos.py``
+replay against a live :class:`~repro.serve.ShardedService`.  The plan is
+pickled into each worker through
+:class:`~repro.serve.worker.WorkerOptions`; inside the worker a
+:class:`FaultInjector` (the plan filtered to that shard) is consulted
+through three hooks:
+
+- ``on_rpc``    — once per RPC received (``crash`` / ``rpc_delay`` /
+  ``pipe_drop`` fire here),
+- ``on_adapt``  — once per adaptation batch (``adapt_delay`` /
+  ``adapt_error``),
+- ``on_load``   — once before the artifact is opened (``load_error``).
+
+Triggers are event-counter based (*the Nth matching event on this shard*),
+so a plan replays identically run after run; probabilistic faults
+(``probability < 1``) draw from a generator seeded by ``(plan seed, shard,
+fault index)`` and are therefore just as reproducible.  When no plan is
+armed the hooks are never constructed and the serving hot path pays only a
+``None`` check.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+]
+
+#: Everything the injector knows how to break.
+FAULT_KINDS = (
+    "crash",  # kill the worker process at the Nth RPC (exit code 17)
+    "rpc_delay",  # sleep inside the worker before handling the Nth RPC
+    "pipe_drop",  # close the worker's pipe end at the Nth RPC (EOF upstream)
+    "adapt_delay",  # sleep inside the Nth adaptation batch (slow fine-tuning)
+    "adapt_error",  # raise InjectedFault from the Nth adaptation batch
+    "load_error",  # raise InjectedFault before the artifact is opened
+)
+
+#: Exit code of an injected worker crash, distinguishable from real deaths.
+CRASH_EXIT_CODE = 17
+
+#: fault kind -> the hook (event stream) it fires on.
+_EVENT_OF = {
+    "crash": "rpc",
+    "rpc_delay": "rpc",
+    "pipe_drop": "rpc",
+    "adapt_delay": "adapt",
+    "adapt_error": "adapt",
+    "load_error": "load",
+}
+
+
+class InjectedFault(RuntimeError):
+    """An error raised on purpose by the fault injector."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    kind:
+        one of :data:`FAULT_KINDS`.
+    shard:
+        which shard the fault targets; ``None`` means every shard.
+    at:
+        1-based index of the first matching event (RPC, adaptation batch,
+        or load attempt, depending on ``kind``) the fault fires on.
+    count:
+        how many consecutive matching events it keeps firing for once
+        reached; ``0`` means forever.
+    seconds:
+        sleep length for the delay kinds; ignored otherwise.
+    probability:
+        chance of actually firing each time the counter window matches,
+        drawn from the plan-seeded per-(fault, shard) generator.  ``1.0``
+        (the default) keeps the schedule purely counter-deterministic.
+    incarnation:
+        restrict the fault to one worker incarnation (0 = the original
+        process, 1 = its first replacement, ...).  A restarted worker
+        re-arms the plan with fresh event counters, so without this a
+        ``crash at=N`` would kill every replacement at *its* Nth event
+        too; ``incarnation=0`` makes "kill the worker once" expressible.
+        ``None`` (default) fires in every incarnation.
+    """
+
+    kind: str
+    shard: int | None = None
+    at: int = 1
+    count: int = 1
+    seconds: float = 0.0
+    probability: float = 1.0
+    incarnation: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.at < 1:
+            raise ValueError("at is 1-based and must be >= 1")
+        if self.count < 0:
+            raise ValueError("count must be >= 0 (0 = forever)")
+        if self.seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.incarnation is not None and self.incarnation < 0:
+            raise ValueError("incarnation must be >= 0 (or None)")
+
+    @property
+    def event(self) -> str:
+        """The hook this fault fires on (``rpc`` / ``adapt`` / ``load``)."""
+        return _EVENT_OF[self.kind]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "shard": self.shard,
+            "at": self.at,
+            "count": self.count,
+            "seconds": self.seconds,
+            "probability": self.probability,
+            "incarnation": self.incarnation,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSpec":
+        unknown = set(payload) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown FaultSpec keys: {sorted(unknown)}")
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of :class:`FaultSpec` entries.
+
+    JSON-constructible (``from_dict`` accepts plain dicts for each fault),
+    picklable, and immutable — the same plan object can arm any number of
+    services and always injects the same schedule.
+    """
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "faults",
+            tuple(
+                f if isinstance(f, FaultSpec) else FaultSpec.from_dict(dict(f))
+                for f in self.faults
+            ),
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def for_shard(self, shard: int) -> tuple[FaultSpec, ...]:
+        """The subset of faults that target ``shard``."""
+        return tuple(
+            f for f in self.faults if f.shard is None or f.shard == shard
+        )
+
+    def injector(self, shard: int, incarnation: int = 0) -> "FaultInjector | None":
+        """An armed :class:`FaultInjector`, or ``None`` if nothing matches."""
+        matching = [
+            f
+            for f in self.for_shard(shard)
+            if f.incarnation is None or f.incarnation == incarnation
+        ]
+        if not matching:
+            return None
+        return FaultInjector(self, shard, incarnation)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        unknown = set(payload) - {"seed", "faults"}
+        if unknown:
+            raise ValueError(f"unknown FaultPlan keys: {sorted(unknown)}")
+        return cls(
+            faults=tuple(payload.get("faults", ())),
+            seed=int(payload.get("seed", 0)),
+        )
+
+
+@dataclass
+class _ArmedFault:
+    """One fault's live trigger state inside a worker."""
+
+    spec: FaultSpec
+    rng: np.random.Generator
+    fired: int = 0
+
+    def due(self, event_index: int) -> bool:
+        """Whether the fault fires on the ``event_index``-th event (1-based)."""
+        spec = self.spec
+        if event_index < spec.at:
+            return False
+        if spec.count and self.fired >= spec.count:
+            return False
+        if spec.probability < 1.0 and self.rng.random() >= spec.probability:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultInjector:
+    """The per-worker executor of a :class:`FaultPlan`.
+
+    Counts each hook's events and fires the matching faults.  ``injected``
+    tallies every fired fault by kind so the worker's metrics registry can
+    report them (``serve.faults.injected``).
+    """
+
+    def __init__(self, plan: FaultPlan, shard: int, incarnation: int = 0):
+        self.shard = shard
+        self.incarnation = incarnation
+        self._events = {"rpc": 0, "adapt": 0, "load": 0}
+        self.injected: dict[str, int] = {}
+        self._armed: dict[str, list[_ArmedFault]] = {"rpc": [], "adapt": [], "load": []}
+        for index, spec in enumerate(plan.faults):
+            if spec.shard is not None and spec.shard != shard:
+                continue
+            if spec.incarnation is not None and spec.incarnation != incarnation:
+                continue
+            # Per-(fault, shard, incarnation) streams keep probabilistic
+            # faults independent across workers yet fully determined by
+            # the plan seed.
+            rng = np.random.default_rng(
+                np.random.SeedSequence([plan.seed, shard, incarnation, index])
+            )
+            self._armed[spec.event].append(_ArmedFault(spec, rng))
+
+    def _fire(self, event: str) -> list[FaultSpec]:
+        self._events[event] += 1
+        index = self._events[event]
+        due = [
+            armed.spec
+            for armed in self._armed[event]
+            if armed.due(index)
+        ]
+        for spec in due:
+            self.injected[spec.kind] = self.injected.get(spec.kind, 0) + 1
+        return due
+
+    # -- hooks -----------------------------------------------------------
+    def on_rpc(self, conn=None) -> None:
+        """Called once per RPC received, before it is handled.
+
+        ``crash`` exits the process immediately (``os._exit`` so no
+        cleanup runs — exactly like a SIGKILL'd worker), ``pipe_drop``
+        closes the worker's pipe end (the parent sees EOF and revives
+        while this process lingers until terminated), ``rpc_delay``
+        sleeps in-line, delaying every request in the flush.
+        """
+        for spec in self._fire("rpc"):
+            if spec.kind == "rpc_delay":
+                time.sleep(spec.seconds)
+            elif spec.kind == "pipe_drop":
+                if conn is not None:
+                    conn.close()
+            elif spec.kind == "crash":
+                os._exit(CRASH_EXIT_CODE)
+
+    def on_adapt(self, n_users: int = 1) -> None:
+        """Called once per adaptation batch, before fine-tuning starts."""
+        del n_users  # part of the hook signature, not of the trigger
+        for spec in self._fire("adapt"):
+            if spec.kind == "adapt_delay":
+                time.sleep(spec.seconds)
+            elif spec.kind == "adapt_error":
+                raise InjectedFault(
+                    f"injected adaptation failure on shard {self.shard}"
+                )
+
+    def on_load(self) -> None:
+        """Called once before the worker opens the artifact."""
+        for spec in self._fire("load"):
+            if spec.kind == "load_error":
+                raise InjectedFault(
+                    f"injected artifact-load failure on shard {self.shard}"
+                )

@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import threading
-from concurrent.futures import Future
+import time
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
@@ -42,11 +43,34 @@ from repro.core.interface import Recommendation
 from repro.data.tasks import PreferenceTask
 from repro.obs import MetricsRegistry, merge_snapshots, strip_gauges
 from repro.service.batching import MicroBatcher
-from repro.service.service import ServeRequest, service_stats_view
+from repro.service.service import DeadlineSkipped, ServeRequest, service_stats_view
+from repro.serve.faults import FaultPlan
+from repro.serve.resilience import (
+    BREAKER_OPEN,
+    CircuitBreaker,
+    CircuitOpen,
+    DeadlineExceeded,
+    PopularityFallback,
+    ResilienceConfig,
+    ServiceOverloaded,
+)
 from repro.serve.worker import CONTROL_ID, WorkerOptions, run_worker
 
-#: resubmits after a worker death: one replacement try, then fail the call.
+#: default resubmits after a worker death: one replacement try, then fail
+#: the call (``resubmit_limit`` on the constructor overrides).
 _MAX_ATTEMPTS = 2
+
+#: consecutive died-before-ready incarnations after which a shard is
+#: marked permanently failed instead of revived (stops load-crash loops
+#: and lets ``wait_ready`` fail fast).
+_STARTUP_FAILURE_LIMIT = 2
+
+#: counter bumped on each breaker transition, keyed by the new state.
+_BREAKER_COUNTERS = {
+    "open": "serve.breaker.opened",
+    "half-open": "serve.breaker.half_open",
+    "closed": "serve.breaker.closed",
+}
 
 
 @dataclass
@@ -80,6 +104,36 @@ class _Shard:
     #: the fold that keeps counters from vanishing on restart.
     retired_metrics: dict | None = None
     metrics_poll_pending: bool = False
+    #: last startup error reported over the pipe (CONTROL_ID, False, msg).
+    start_error: str | None = None
+    #: consecutive incarnations that died before signalling ready.
+    startup_failures: int = 0
+    #: set once the shard is declared permanently unable to start; the
+    #: reason string.  A failed shard is never revived again.
+    failed: str | None = None
+    #: per-shard circuit breaker; only armed with a resilience config.
+    breaker: CircuitBreaker | None = None
+    #: requests admitted and not yet settled (resilient path only).
+    inflight: int = 0
+
+
+@dataclass
+class _ResilientCall:
+    """One resilient request's lifecycle state on the front-end.
+
+    The outer future is what the caller holds; it is resolved exactly once
+    by whichever finishes first — the shard's answer, a retry's answer, the
+    deadline watchdog, or an immediate shed/breaker/failed-shard rejection.
+    Losers of that race are dropped by the ``Future`` state machine
+    (``InvalidStateError``) and only the winner counts outcomes.
+    """
+
+    request: ServeRequest
+    shard: "_Shard"
+    outer: Future
+    deadline: float | None
+    attempts: int = 0
+    timer: threading.Timer | None = None
 
 
 def default_start_method() -> str:
@@ -112,6 +166,17 @@ class ShardedService:
         seconds between supervisor liveness polls.
     request_timeout:
         upper bound on one cross-process flush; ``None`` waits forever.
+    resubmit_limit:
+        how many times an in-flight request is resubmitted to a revived
+        worker after a death before its future gets the error.
+    resilience:
+        optional :class:`~repro.serve.resilience.ResilienceConfig`; arms
+        per-shard circuit breakers, bounded admission, retries, deadlines
+        and the degraded popularity fallback.  ``None`` (default) keeps
+        the exact historical serving path — bit-identical answers.
+    fault_plan:
+        optional :class:`~repro.serve.faults.FaultPlan` armed inside every
+        worker, for chaos tests; ``None`` injects nothing.
     """
 
     def __init__(
@@ -127,16 +192,25 @@ class ShardedService:
         start_method: str | None = None,
         heartbeat_interval: float = 0.5,
         request_timeout: float | None = 60.0,
+        resubmit_limit: int = _MAX_ATTEMPTS - 1,
         refresh_every: int = 0,
         refresh_lr: float = 0.1,
         refresh_steps: int | None = None,
+        resilience: ResilienceConfig | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
+        if resubmit_limit < 0:
+            raise ValueError("resubmit_limit must be >= 0")
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
         path = Path(artifact)
         if not path.exists():
             raise FileNotFoundError(f"artifact not found: {path}")
         self._artifact = str(path)
+        if fault_plan is not None and not fault_plan:
+            fault_plan = None  # an empty plan arms nothing
         self._options = WorkerOptions(
             mmap_mode=mmap_mode,
             cache_size=cache_size,
@@ -144,10 +218,24 @@ class ShardedService:
             refresh_every=refresh_every,
             refresh_lr=refresh_lr,
             refresh_steps=refresh_steps,
+            fault_plan=fault_plan,
         )
         self._ctx = mp.get_context(start_method or default_start_method())
         self._request_timeout = request_timeout
+        self._max_attempts = resubmit_limit + 1
         self.heartbeat_interval = heartbeat_interval
+        self._resilience = resilience
+        self._fallback = None
+        self._retry_lock = threading.Lock()
+        self._retry_rng = None
+        if resilience is not None:
+            self._retry_rng = np.random.default_rng(
+                np.random.SeedSequence([resilience.seed])
+            )
+            if resilience.fallback:
+                self._fallback = PopularityFallback.from_artifact(
+                    path, mmap_mode=mmap_mode, candidate_pool=candidate_pool
+                )
         # Front-end registry: request/restart counters plus the
         # coalescing histograms (queue wait, batch size, RPC and
         # end-to-end round trips).  Worker registries merge into it in
@@ -157,6 +245,13 @@ class ShardedService:
         self._closed = False
         self._shards = [_Shard(index=i) for i in range(n_workers)]
         for shard in self._shards:
+            if resilience is not None:
+                shard.breaker = CircuitBreaker(
+                    failure_threshold=resilience.failure_threshold,
+                    reset_timeout=resilience.reset_timeout,
+                    half_open_probes=resilience.half_open_probes,
+                    on_transition=self._on_breaker_transition,
+                )
             with shard.lock:
                 self._spawn_worker(shard)
             shard.batcher = MicroBatcher(
@@ -177,7 +272,13 @@ class ShardedService:
         parent_conn, child_conn = self._ctx.Pipe()
         proc = self._ctx.Process(
             target=run_worker,
-            args=(child_conn, self._artifact, self._options),
+            args=(
+                child_conn,
+                self._artifact,
+                self._options,
+                shard.index,
+                shard.restarts,  # incarnation number for the fault plan
+            ),
             name=f"repro-serve-shard-{shard.index}",
             daemon=True,
         )
@@ -202,7 +303,14 @@ class ShardedService:
             except (EOFError, OSError):
                 break
             if req_id == CONTROL_ID:
-                shard.ready.set()
+                if ok:
+                    shard.startup_failures = 0
+                    shard.ready.set()
+                else:
+                    # The worker could not load the artifact; it reports
+                    # why and exits, and revival decides whether to retry
+                    # or mark the shard permanently failed.
+                    shard.start_error = str(payload)
                 continue
             with shard.lock:
                 call = shard.pending.pop(req_id, None)
@@ -224,11 +332,42 @@ class ShardedService:
         the same death, but only the caller matching ``shard.generation``
         acts.  The replacement maps the same artifact and starts with an
         empty adaptation cache.
+
+        A worker that dies *before* signalling ready failed to load the
+        artifact; after ``_STARTUP_FAILURE_LIMIT`` consecutive such deaths
+        the shard is marked permanently failed (pending calls get the
+        error, ``wait_ready`` raises) instead of crash-looping.
         """
         with shard.lock:
-            if self._closing or shard.generation != generation:
+            if (
+                self._closing
+                or shard.failed is not None
+                or shard.generation != generation
+            ):
                 return
             shard.generation += 1
+            if not shard.ready.is_set():
+                shard.startup_failures += 1
+                self.metrics.inc("serve.startup_failures")
+                if shard.startup_failures >= _STARTUP_FAILURE_LIMIT:
+                    reason = shard.start_error or (
+                        "worker exited before ready"
+                        f" (exit code {shard.proc.exitcode})"
+                    )
+                    shard.failed = (
+                        f"shard {shard.index} failed to start: {reason}"
+                    )
+                    error = RuntimeError(shard.failed)
+                    for call in shard.pending.values():
+                        call.future.set_exception(error)
+                    shard.pending.clear()
+                    try:
+                        shard.conn.close()
+                    except OSError:
+                        pass
+                    # Wake wait_ready waiters; they see ``failed`` and raise.
+                    shard.ready.set()
+                    return
             shard.restarts += 1
             self.metrics.inc("serve.restarts")
             # Fold the dead worker's last-known snapshot into the shard's
@@ -251,7 +390,7 @@ class ShardedService:
             shard.proc.join(timeout=1.0)
             self._spawn_worker(shard)
             for req_id, call in stale:
-                if call.attempts >= _MAX_ATTEMPTS:
+                if call.attempts >= self._max_attempts:
                     call.future.set_exception(
                         RuntimeError(
                             f"shard {shard.index} died twice serving one request"
@@ -275,6 +414,8 @@ class ShardedService:
         """
         while not self._stop.wait(self.heartbeat_interval):
             for shard in self._shards:
+                if shard.failed is not None:
+                    continue
                 if shard.proc is not None and not shard.proc.is_alive():
                     self._revive(shard, shard.generation)
                 else:
@@ -322,6 +463,8 @@ class ShardedService:
         with shard.lock:
             if self._closed:
                 raise RuntimeError("service is closed")
+            if shard.failed is not None:
+                raise RuntimeError(shard.failed)
             req_id = shard.next_id
             shard.next_id += 1
             shard.pending[req_id] = call
@@ -359,12 +502,28 @@ class ShardedService:
         k: int = 10,
         task: PreferenceTask | None = None,
         exclude_seen: bool = True,
+        deadline: float | None = None,
     ) -> Future:
         """Enqueue one request; resolves to a :class:`Recommendation`.
 
         The request rides its shard's next micro-batch: one coalesced RPC,
         one batched adaptation pass in the worker.
+
+        With a resilience config armed the future additionally passes
+        through admission control, the shard's circuit breaker, retries,
+        and the deadline watchdog — it then *always* resolves by the
+        deadline, either with the shard's answer, a ``degraded=True``
+        popularity answer, or (fallback disabled) a typed error.
+        ``deadline`` is absolute ``time.time()``; when omitted the
+        config's default budget applies.
         """
+        if self._resilience is not None:
+            return self._submit_resilient(user_row, k, task, exclude_seen, deadline)
+        if deadline is not None:
+            raise ValueError(
+                "per-request deadlines require a resilience config "
+                "(pass resilience=ResilienceConfig(...) to ShardedService)"
+            )
         shard = self._shards[self.shard_of(user_row)]
         request = ServeRequest(int(user_row), int(k), task, bool(exclude_seen))
         self.metrics.inc("serve.requests")
@@ -378,6 +537,203 @@ class ShardedService:
             )
         )
         return future
+
+    # -- resilient serving ----------------------------------------------
+    def _submit_resilient(
+        self,
+        user_row: int,
+        k: int,
+        task: PreferenceTask | None,
+        exclude_seen: bool,
+        deadline: float | None,
+    ) -> Future:
+        cfg = self._resilience
+        if deadline is None and cfg.deadline is not None:
+            deadline = time.time() + cfg.deadline
+        shard = self._shards[self.shard_of(user_row)]
+        request = ServeRequest(
+            int(user_row), int(k), task, bool(exclude_seen), deadline
+        )
+        self.metrics.inc("serve.requests")
+        call = _ResilientCall(request, shard, Future(), deadline)
+        if self.metrics.enabled:
+            t0 = perf_counter()
+            call.outer.add_done_callback(
+                lambda _f: self.metrics.observe(
+                    "serve.request.seconds", perf_counter() - t0
+                )
+            )
+        if deadline is not None:
+            # The watchdog guarantees the outer future resolves by the
+            # deadline even if the shard never answers; whichever of the
+            # watchdog and a late answer loses the set_result race is
+            # dropped without being counted.
+            call.timer = threading.Timer(
+                max(deadline - time.time(), 0.0),
+                self._finish_degraded,
+                args=(call, "deadline"),
+            )
+            call.timer.daemon = True
+            call.timer.start()
+        self._dispatch(call)
+        return call.outer
+
+    def _dispatch(self, call: _ResilientCall) -> None:
+        """Admit one (re)attempt: deadline -> shard health -> shed -> breaker."""
+        cfg = self._resilience
+        shard = call.shard
+        if call.outer.done():
+            return
+        if call.deadline is not None and time.time() >= call.deadline:
+            self._finish_degraded(call, "deadline")
+            return
+        if shard.failed is not None:
+            self._finish_degraded(call, "failure", RuntimeError(shard.failed))
+            return
+        if cfg.max_pending:
+            with shard.lock:
+                admitted = shard.inflight < cfg.max_pending
+                if admitted:
+                    shard.inflight += 1
+            if not admitted:
+                self._finish_degraded(call, "shed")
+                return
+        if shard.breaker is not None and not shard.breaker.allow():
+            if cfg.max_pending:
+                with shard.lock:
+                    shard.inflight -= 1
+            self._finish_degraded(call, "breaker")
+            return
+        call.attempts += 1
+        inner = shard.batcher.submit(call.request, None, deadline=call.deadline)
+        inner.add_done_callback(lambda f, c=call: self._settle(c, f))
+
+    def _settle(self, call: _ResilientCall, inner: Future) -> None:
+        """One attempt finished: record the breaker outcome, then resolve
+        the caller's future, retry, or degrade."""
+        cfg = self._resilience
+        shard = call.shard
+        if cfg.max_pending:
+            with shard.lock:
+                shard.inflight -= 1
+        exc = inner.exception()
+        if exc is None:
+            # The RPC round-tripped — a success for the breaker even when
+            # the worker skipped the request as expired (per-request
+            # deadline pressure must not open the circuit).
+            if shard.breaker is not None:
+                shard.breaker.record_success()
+            result = inner.result()
+            if isinstance(result, DeadlineSkipped):
+                self._finish_degraded(call, "deadline")
+            else:
+                self._finish_ok(call, result)
+            return
+        # RPC-level failure: worker error, repeated death, flush timeout.
+        if shard.breaker is not None:
+            shard.breaker.record_failure()
+        can_retry = (
+            call.attempts <= cfg.retry_limit
+            and shard.failed is None
+            and not call.outer.done()
+            and (call.deadline is None or time.time() < call.deadline)
+        )
+        if can_retry:
+            self.metrics.inc("serve.retries")
+            delay = self._backoff_delay(call.attempts)
+            if call.deadline is not None:
+                delay = min(delay, max(call.deadline - time.time(), 0.0))
+            timer = threading.Timer(delay, self._dispatch, args=(call,))
+            timer.daemon = True
+            timer.start()
+            return
+        self._finish_degraded(call, "failure", exc)
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Jittered exponential backoff, deterministic given the config seed."""
+        cfg = self._resilience
+        delay = cfg.backoff_base * (2 ** (attempt - 1))
+        if cfg.backoff_jitter and delay > 0:
+            with self._retry_lock:
+                u = self._retry_rng.random()
+            delay *= 1.0 + cfg.backoff_jitter * (2.0 * u - 1.0)
+        return max(delay, 0.0)
+
+    def _finish_ok(self, call: _ResilientCall, result) -> None:
+        try:
+            call.outer.set_result(result)
+        except InvalidStateError:
+            return  # the deadline watchdog won and already counted
+        if call.timer is not None:
+            call.timer.cancel()
+        self.metrics.inc("serve.responses.ok")
+
+    def _finish_degraded(
+        self, call: _ResilientCall, reason: str, exc: Exception | None = None
+    ) -> None:
+        """Resolve a request the model tier could not serve in time.
+
+        With the fallback armed the caller gets a ``degraded=True``
+        popularity answer; otherwise the reason's typed error.  Counters
+        (``serve.responses.*``, ``serve.degraded.<reason>`` and the
+        reason-specific tallies) are bumped only by the resolver that wins
+        the future, so they reconcile exactly with per-request outcomes.
+        """
+        if call.outer.done():
+            return
+        request = call.request
+        result = None
+        if self._fallback is not None:
+            try:
+                result = self._fallback.recommend(
+                    request.user_row, request.k, request.exclude_seen
+                )
+            except Exception as fallback_exc:  # degrade to the error path
+                exc = exc if exc is not None else fallback_exc
+        if result is not None:
+            try:
+                call.outer.set_result(result)
+            except InvalidStateError:
+                return
+            self.metrics.inc("serve.responses.degraded")
+            self.metrics.inc(f"serve.degraded.{reason}")
+        else:
+            if reason == "deadline":
+                error: Exception = DeadlineExceeded(
+                    f"request for user {request.user_row} missed its deadline"
+                )
+            elif reason == "shed":
+                error = ServiceOverloaded(
+                    f"shard {call.shard.index} admission queue is full"
+                )
+            elif reason == "breaker":
+                error = CircuitOpen(
+                    f"shard {call.shard.index} circuit breaker is open"
+                )
+            else:
+                error = exc if exc is not None else RuntimeError(
+                    f"shard {call.shard.index} failed"
+                )
+            try:
+                call.outer.set_exception(error)
+            except InvalidStateError:
+                return
+            self.metrics.inc("serve.responses.error")
+            self.metrics.inc(f"serve.failed.{reason}")
+        if call.timer is not None:
+            call.timer.cancel()
+        if reason == "deadline":
+            self.metrics.inc("serve.deadline_exceeded")
+        elif reason == "shed":
+            self.metrics.inc("serve.shed")
+        elif reason == "breaker":
+            self.metrics.inc("serve.breaker.rejected")
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        del old
+        counter = _BREAKER_COUNTERS.get(new)
+        if counter is not None:
+            self.metrics.inc(counter)
 
     def recommend(
         self,
@@ -454,10 +810,78 @@ class ShardedService:
         return self._rpc(self._shards[shard_index], "ping") == "pong"
 
     def wait_ready(self, timeout: float | None = None) -> bool:
-        """Block until every worker finished loading the artifact."""
-        return all(shard.ready.wait(timeout) for shard in self._shards)
+        """Block until every worker finished loading the artifact.
+
+        Fails fast: raises ``RuntimeError`` as soon as any shard is marked
+        permanently failed (its worker kept dying during artifact load)
+        instead of hanging until the timeout.  Returns ``False`` only on a
+        genuine timeout with startup still in progress.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            all_ready = True
+            for shard in self._shards:
+                if shard.failed is not None:
+                    raise RuntimeError(shard.failed)
+                if not shard.ready.is_set():
+                    all_ready = False
+            if all_ready:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            # Poll rather than wait on the Event objects: revival swaps in
+            # a fresh Event per incarnation, so a blocked wait() could be
+            # watching an orphaned event forever.
+            time.sleep(0.01)
 
     # -- observability ---------------------------------------------------
+    def health(self) -> dict:
+        """Cheap, non-blocking readiness view — no worker RPCs.
+
+        Per shard: process liveness, readiness, permanent-failure reason,
+        restart count, admitted in-flight depth, and breaker state.  The
+        overall ``status`` is ``"ok"`` when every shard can serve,
+        ``"degraded"`` when some cannot but answers are still possible
+        (surviving shards and/or the popularity fallback), and ``"down"``
+        when nothing can answer.
+        """
+        shards = []
+        n_serving = 0
+        for shard in self._shards:
+            alive = shard.proc is not None and shard.proc.is_alive()
+            breaker_state = (
+                shard.breaker.state if shard.breaker is not None else None
+            )
+            serving = (
+                alive
+                and shard.ready.is_set()
+                and shard.failed is None
+                and breaker_state != BREAKER_OPEN
+            )
+            n_serving += bool(serving)
+            shards.append(
+                {
+                    "shard": shard.index,
+                    "alive": alive,
+                    "ready": shard.ready.is_set(),
+                    "failed": shard.failed,
+                    "restarts": shard.restarts,
+                    "inflight": shard.inflight,
+                    "breaker": breaker_state,
+                }
+            )
+        if n_serving == len(shards):
+            status = "ok"
+        elif n_serving > 0 or self._fallback is not None:
+            status = "degraded"
+        else:
+            status = "down"
+        return {
+            "status": status,
+            "fallback": self._fallback is not None,
+            "shards": shards,
+        }
+
     @property
     def n_requests(self) -> int:
         """Total requests accepted by the front-end (legacy attribute)."""

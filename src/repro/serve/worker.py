@@ -45,21 +45,52 @@ class WorkerOptions:
     refresh_every: int = 0
     refresh_lr: float = 0.1
     refresh_steps: int | None = None
+    #: optional :class:`repro.serve.faults.FaultPlan`; ``None`` (the
+    #: default) arms nothing and the serving loop pays no hook cost.
+    fault_plan: object | None = None
 
 
-def run_worker(conn: Connection, artifact: str, options: WorkerOptions) -> None:
-    """Worker main loop: serve RPCs from ``conn`` until shutdown or EOF."""
+def run_worker(
+    conn: Connection,
+    artifact: str,
+    options: WorkerOptions,
+    shard_index: int = 0,
+    incarnation: int = 0,
+) -> None:
+    """Worker main loop: serve RPCs from ``conn`` until shutdown or EOF.
+
+    ``shard_index`` / ``incarnation`` identify this process to the fault
+    plan (if any): the injector only arms faults targeting this shard and
+    worker generation.  A failed artifact load — injected or real — is
+    reported as ``(CONTROL_ID, False, message)`` before exiting, so the
+    parent's ``wait_ready`` can fail fast instead of hanging.
+    """
     from repro.service import RecommenderService
 
-    service = RecommenderService.from_artifact(
-        artifact,
-        mmap_mode=options.mmap_mode,
-        cache_size=options.cache_size,
-        candidate_pool=options.candidate_pool,
-        refresh_every=options.refresh_every,
-        refresh_lr=options.refresh_lr,
-        refresh_steps=options.refresh_steps,
-    )
+    injector = None
+    if options.fault_plan is not None:
+        injector = options.fault_plan.injector(shard_index, incarnation)
+    try:
+        if injector is not None:
+            injector.on_load()
+        service = RecommenderService.from_artifact(
+            artifact,
+            mmap_mode=options.mmap_mode,
+            cache_size=options.cache_size,
+            candidate_pool=options.candidate_pool,
+            refresh_every=options.refresh_every,
+            refresh_lr=options.refresh_lr,
+            refresh_steps=options.refresh_steps,
+            adapt_hook=injector.on_adapt if injector is not None else None,
+        )
+    except Exception as exc:
+        try:
+            conn.send((CONTROL_ID, False, f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    if injector is not None:
+        service.metrics.add_collector(_faults_collector(injector))
     conn.send((CONTROL_ID, True, {"event": "ready", "pid": os.getpid()}))
     try:
         while True:
@@ -70,6 +101,11 @@ def run_worker(conn: Connection, artifact: str, options: WorkerOptions) -> None:
             if kind == "shutdown":
                 conn.send((req_id, True, None))
                 break
+            if injector is not None and kind == "batch":
+                # The rpc event stream counts serving flushes only — not
+                # control traffic like the supervisor's stats polls, whose
+                # cadence would make "the Nth RPC" timing-dependent.
+                injector.on_rpc(conn)
             try:
                 result = _handle(service, kind, payload)
             except Exception as exc:  # report, don't die: the shard lives on
@@ -78,6 +114,19 @@ def run_worker(conn: Connection, artifact: str, options: WorkerOptions) -> None:
                 conn.send((req_id, True, result))
     finally:
         conn.close()
+
+
+def _faults_collector(injector):
+    """Mirror the injector's fired-fault tally into the worker registry."""
+
+    def collect(reg) -> None:
+        total = 0
+        for kind, n in injector.injected.items():
+            reg.set_counter(f"serve.faults.{kind}", n)
+            total += n
+        reg.set_counter("serve.faults.injected", total)
+
+    return collect
 
 
 def _handle(service, kind: str, payload):

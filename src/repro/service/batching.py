@@ -38,6 +38,8 @@ class _Request:
     instance: EvalInstance
     future: Future = field(default_factory=Future)
     submitted: float = field(default_factory=time.perf_counter)
+    #: absolute wall-clock (``time.time()``) deadline, or None.
+    deadline: float | None = None
 
 
 class MicroBatcher:
@@ -90,11 +92,19 @@ class MicroBatcher:
             self._worker.start()
 
     # ------------------------------------------------------------------
-    def submit(self, state: Any, instance: EvalInstance) -> Future:
-        """Enqueue one request; the future resolves to its score array."""
+    def submit(
+        self, state: Any, instance: EvalInstance, deadline: float | None = None
+    ) -> Future:
+        """Enqueue one request; the future resolves to its score array.
+
+        ``deadline`` (absolute ``time.time()``) caps how long the flush
+        window may hold this request: the batch fires no later than the
+        earliest pending deadline, instead of always waiting the full
+        ``max_wait_ms``.
+        """
         if self._closed:
             raise RuntimeError("batcher is closed")
-        request = _Request(state=state, instance=instance)
+        request = _Request(state=state, instance=instance, deadline=deadline)
         self.n_requests += 1
         self._queue.put(request)
         return request.future
@@ -104,8 +114,26 @@ class MicroBatcher:
         return self.submit(state, instance).result()
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _cap_window(request: _Request, deadline: float) -> float:
+        """Shrink the flush window so ``request`` is not held past its deadline.
+
+        Request deadlines are wall-clock (shared across processes), the
+        window is monotonic — the cap converts via remaining seconds.
+        """
+        if request.deadline is None:
+            return deadline
+        remaining = max(request.deadline - time.time(), 0.0)
+        return min(deadline, time.monotonic() + remaining)
+
     def _collect(self, block: bool) -> list[_Request]:
-        """Gather one batch: first request, then drain within the window."""
+        """Gather one batch: first request, then drain within the window.
+
+        The window closes at ``max_wait`` after the first request *or* at
+        the earliest pending deadline, whichever comes first — a request
+        with little budget left flushes immediately instead of burning it
+        waiting for company.
+        """
         batch: list[_Request] = []
         try:
             first = self._queue.get(block=block, timeout=0.1 if block else None)
@@ -114,7 +142,7 @@ class MicroBatcher:
         if first is None:  # close sentinel
             return batch
         batch.append(first)
-        deadline = time.monotonic() + self.max_wait
+        deadline = self._cap_window(first, time.monotonic() + self.max_wait)
         while len(batch) < self.max_batch:
             remaining = deadline - time.monotonic()
             try:
@@ -126,6 +154,7 @@ class MicroBatcher:
             if item is None:
                 break
             batch.append(item)
+            deadline = self._cap_window(item, deadline)
         return batch
 
     def process_once(self, block: bool = False) -> int:

@@ -28,8 +28,10 @@ behaviour is).
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -84,12 +86,31 @@ class ServeRequest:
     The wire unit of the sharded front-end: a flush of these is resolved by
     :meth:`RecommenderService.recommend_batch` with one batched adaptation
     pass and per-request solo scoring.
+
+    ``deadline`` is an absolute wall-clock time (``time.time()``, the one
+    clock processes share): past it the worker skips the request instead of
+    adapting/scoring it, returning a :class:`DeadlineSkipped` marker in its
+    slot so the front-end can answer degraded.
     """
 
     user_row: int
     k: int = 10
     task: PreferenceTask | None = None
     exclude_seen: bool = True
+    deadline: float | None = None
+
+
+@dataclass(frozen=True)
+class DeadlineSkipped:
+    """Marker result for a request whose deadline expired inside the worker.
+
+    Occupies the request's slot in the :meth:`RecommenderService
+    .recommend_batch` result list — pickles across the shard pipe so the
+    front-end can convert it into a degraded answer or
+    :class:`~repro.serve.resilience.DeadlineExceeded`.
+    """
+
+    user_row: int
 
 
 @dataclass
@@ -120,8 +141,14 @@ class RecommenderService:
         refresh_lr: float = 0.1,
         refresh_steps: int | None = None,
         metrics: MetricsRegistry | None = None,
+        adapt_hook: Callable[[int], None] | None = None,
     ):
         self.method = method
+        # Called with the batch size before every adaptation pass; the
+        # fault injector's ``on_adapt`` threads in here to make slow or
+        # failing fine-tuning injectable.  None (the default) costs one
+        # attribute check per batch.
+        self._adapt_hook = adapt_hook
         serving = method.serving  # raises if the method is not fitted/loaded
         if candidate_pool is None:
             self._pool = np.arange(serving.n_items)
@@ -329,10 +356,18 @@ class RecommenderService:
         self.metrics.inc("serve.adapt.batches")
         self.metrics.inc("serve.adapt.users", n_users)
 
+    def _adapt_users(self, tasks: list[PreferenceTask | None]) -> list:
+        """Every batched ``adapt_users`` call funnels through here."""
+        if self._adapt_hook is not None:
+            self._adapt_hook(len(tasks))
+        return self.method.adapt_users(tasks)
+
     def _adapted_state(self, user_row: int, task: PreferenceTask | None):
         hit, state, effective = self._cached_state(user_row, task)
         if hit:
             return state
+        if self._adapt_hook is not None:
+            self._adapt_hook(1)
         with self.metrics.span("serve.adapt", size=1):
             state = self.method.adapt_user(effective)
         self._count_adaptation(1)
@@ -359,7 +394,7 @@ class RecommenderService:
             # depth into the stats forever.
             try:
                 with self.metrics.span("serve.adapt", size=len(pending)):
-                    adapted = self.method.adapt_users(
+                    adapted = self._adapt_users(
                         [entry.task for _, entry in pending]
                     )
                 self._count_adaptation(len(pending))
@@ -427,7 +462,7 @@ class RecommenderService:
 
     def recommend_batch(
         self, requests: list[ServeRequest]
-    ) -> list[Recommendation]:
+    ) -> list[Recommendation | DeadlineSkipped]:
         """Serve a flush of requests: batched adaptation, solo scoring.
 
         Cache-missed users are fine-tuned *together* through one
@@ -438,6 +473,12 @@ class RecommenderService:
         This is the shard worker's entry point; prefer
         :meth:`recommend_many` when tiny ranking differences are acceptable
         and throughput matters more.
+
+        Requests whose :attr:`ServeRequest.deadline` already passed are not
+        adapted or scored; their slot holds a :class:`DeadlineSkipped`
+        marker instead.  Deadline-free requests take the exact historical
+        path — skipping a stale neighbour cannot change their scores, since
+        adaptations are independent per (user, task).
         """
         # Validate the whole flush (and compute candidate pools) before any
         # adaptation, cache write, or counter bump — one bad request fails
@@ -447,6 +488,10 @@ class RecommenderService:
                 raise ValueError("k must be positive")
         pools = [
             self._candidates_for(int(r.user_row), r.exclude_seen)
+            for r in requests
+        ]
+        expired = [
+            r.deadline is not None and time.time() >= r.deadline
             for r in requests
         ]
         # Replay the sequential cache protocol: per user, an explicit new
@@ -459,7 +504,10 @@ class RecommenderService:
         plan: list[tuple[str, object]] = []
         slots: list[tuple[int, PreferenceTask | None]] = []
         latest: dict[int, tuple[bytes | None, tuple[str, object]]] = {}
-        for request in requests:
+        for request, skip in zip(requests, expired):
+            if skip:
+                plan.append(("skip", None))
+                continue
             key = int(request.user_row)
             task = request.task
             if key in latest:
@@ -487,16 +535,27 @@ class RecommenderService:
         adapted: list = []
         if slots:
             with self.metrics.span("serve.adapt", size=len(slots)):
-                adapted = self.method.adapt_users([task for _, task in slots])
+                adapted = self._adapt_users([task for _, task in slots])
             self._count_adaptation(len(slots))
             for (user, task), state in zip(slots, adapted):
                 self._store_state(user, task, state)
         self.metrics.inc("serve.requests", len(requests))
-        results = []
+        results: list[Recommendation | DeadlineSkipped] = []
         empty = np.array([], dtype=int)
+        n_skipped = sum(expired)
         with self.metrics.span("serve.score", size=len(requests)):
             for request, pool, (kind, value) in zip(requests, pools, plan):
                 user = int(request.user_row)
+                if kind == "skip" or (
+                    request.deadline is not None
+                    and time.time() >= request.deadline
+                ):
+                    # Expired at entry, or while earlier requests in this
+                    # flush were being adapted/scored.
+                    if kind != "skip":
+                        n_skipped += 1
+                    results.append(DeadlineSkipped(user))
+                    continue
                 if pool.size == 0:
                     results.append(
                         Recommendation(user, empty, np.array([], dtype=float))
@@ -511,6 +570,8 @@ class RecommenderService:
                 )
                 order = np.argsort(-scores, kind="stable")[: request.k]
                 results.append(Recommendation(user, pool[order], scores[order]))
+        if n_skipped:
+            self.metrics.inc("serve.deadline_skipped", n_skipped)
         return results
 
     def _states_for(self, user_rows: list[int]) -> list:
@@ -528,7 +589,7 @@ class RecommenderService:
         fresh: dict[int, object] = {}
         if misses:
             with self.metrics.span("serve.adapt", size=len(misses)):
-                adapted = self.method.adapt_users(list(misses.values()))
+                adapted = self._adapt_users(list(misses.values()))
             self._count_adaptation(len(misses))
             fresh = dict(zip(misses, adapted))
             for user, task in misses.items():

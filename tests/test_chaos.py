@@ -1,0 +1,363 @@
+"""Chaos suite: seeded fault plans against the live sharded service.
+
+Every scenario arms a deterministic :class:`FaultPlan` inside real worker
+processes and asserts the resilient front-end's contract: requests keep
+resolving (possibly ``degraded=True``) within their deadlines, and the
+outcome counters in ``stats()["metrics"]`` reconcile exactly with the
+per-future tallies the test observes.
+
+A cheap Popularity artifact keeps worker startup fast — the resilience
+machinery under test is method-agnostic.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.popularity import Popularity
+from repro.serve import (
+    FaultPlan,
+    FaultSpec,
+    ResilienceConfig,
+    ShardedService,
+)
+from repro.service import RecommenderService
+
+
+@pytest.fixture(scope="module")
+def artifact(bench_experiment, tmp_path_factory):
+    """A saved Popularity artifact: instant worker loads, real RPC plumbing."""
+    method = Popularity().fit(bench_experiment.ctx)
+    path = method.save(tmp_path_factory.mktemp("chaos") / "popularity.npz")
+    return str(path)
+
+
+def _counters(service: ShardedService) -> dict:
+    return service.stats()["metrics"].get("counters", {})
+
+
+def _settled_counters(service: ShardedService, n_requests: int) -> dict:
+    """Counters once every response has been tallied.
+
+    Outcome counters are bumped just *after* the future resolves, so an
+    observer woken by ``result()`` can be one increment early — poll until
+    the response totals cover every request.
+    """
+    deadline = time.monotonic() + 5.0
+    while True:
+        counters = _counters(service)
+        settled = (
+            counters.get("serve.responses.ok", 0)
+            + counters.get("serve.responses.degraded", 0)
+            + counters.get("serve.responses.error", 0)
+        )
+        if settled >= n_requests or time.monotonic() >= deadline:
+            return counters
+        time.sleep(0.01)
+
+
+def _tally(results) -> tuple[int, int]:
+    """(full-quality, degraded) response counts."""
+    ok = sum(1 for r in results if not r.degraded)
+    return ok, len(results) - ok
+
+
+class TestResilientEquivalence:
+    def test_no_fault_no_degradation_matches_plain_serving(self, artifact):
+        """Arming resilience without faults must not change a single bit."""
+        users = list(range(12)) * 2
+        reference = RecommenderService.from_artifact(artifact)
+        expected = [reference.recommend(u, k=6) for u in users]
+
+        cfg = ResilienceConfig(deadline=30.0, retry_limit=1, max_pending=64)
+        with ShardedService(artifact, n_workers=3, resilience=cfg) as service:
+            assert service.wait_ready(timeout=30.0)
+            futures = [service.submit(u, k=6) for u in users]
+            results = [f.result(timeout=30.0) for f in futures]
+
+        for want, got in zip(expected, results):
+            assert not got.degraded
+            assert np.array_equal(want.items, got.items)
+            assert np.array_equal(want.scores, got.scores)
+        # Invariant the whole suite leans on: only the winning resolver
+        # counts, so responses reconcile exactly with what callers saw.
+        # (service is closed; counters were merged on the way out)
+
+    def test_deadline_requires_resilience(self, artifact):
+        with ShardedService(artifact, n_workers=1) as service:
+            assert service.wait_ready(timeout=30.0)
+            with pytest.raises(ValueError, match="resilience config"):
+                service.submit(0, deadline=time.time() + 1.0)
+
+
+class TestWorkerKillMidBurst:
+    def test_availability_through_a_crash(self, artifact):
+        """The acceptance scenario: kill one worker mid-burst, >=99% answered."""
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="crash", shard=0, at=3, incarnation=0),),
+            seed=7,
+        )
+        cfg = ResilienceConfig(
+            deadline=20.0, retry_limit=2, failure_threshold=100, fallback=True
+        )
+        users = [u % 20 for u in range(60)]
+        with ShardedService(
+            artifact,
+            n_workers=2,
+            max_batch=2,
+            max_wait_ms=1.0,
+            heartbeat_interval=0.1,
+            resilience=cfg,
+            fault_plan=plan,
+        ) as service:
+            assert service.wait_ready(timeout=30.0)
+            futures = [service.submit(u, k=5) for u in users]
+            results = [f.result(timeout=30.0) for f in futures]
+
+            # Availability: every offered request got an answer in time.
+            assert len(results) == len(users)
+            answered = sum(1 for r in results if len(r) == 5)
+            assert answered / len(users) >= 0.99
+
+            ok, degraded = _tally(results)
+            counters = _settled_counters(service, len(users))
+            # Front-end accepted count (the merged "serve.requests" also
+            # folds in worker-side per-flush tallies, including retries).
+            assert service.stats()["requests"] == len(users)
+            assert counters.get("serve.responses.ok", 0) == ok
+            assert counters.get("serve.responses.degraded", 0) == degraded
+            assert counters.get("serve.responses.error", 0) == 0
+            # The injected crash really happened and was survived.
+            assert service.stats()["restarts"] >= 1
+            assert ok > 0  # the surviving shard + replacement kept answering
+
+    def test_crash_replays_identically(self, artifact):
+        """Same plan, same stream, same restart count — seeded chaos."""
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="crash", shard=0, at=2, incarnation=0),),
+            seed=3,
+        )
+        cfg = ResilienceConfig(deadline=20.0, retry_limit=2, failure_threshold=100)
+
+        def run():
+            with ShardedService(
+                artifact,
+                n_workers=2,
+                max_batch=2,
+                max_wait_ms=1.0,
+                heartbeat_interval=0.1,
+                resilience=cfg,
+                fault_plan=plan,
+            ) as service:
+                assert service.wait_ready(timeout=30.0)
+                futures = [service.submit(u, k=4) for u in range(16)]
+                results = [f.result(timeout=30.0) for f in futures]
+                return [tuple(r.items.tolist()) for r in results], service.stats()[
+                    "restarts"
+                ]
+
+        items_a, restarts_a = run()
+        items_b, restarts_b = run()
+        assert restarts_a == restarts_b == 1
+        assert items_a == items_b
+
+
+class TestAdaptationFailure:
+    def test_persistent_failure_opens_the_breaker_and_degrades(self, artifact):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="adapt_error", shard=0, count=0),), seed=1
+        )
+        cfg = ResilienceConfig(
+            deadline=20.0,
+            retry_limit=0,
+            failure_threshold=3,
+            reset_timeout=60.0,
+            fallback=True,
+        )
+        with ShardedService(
+            artifact,
+            n_workers=2,
+            max_wait_ms=1.0,
+            resilience=cfg,
+            fault_plan=plan,
+        ) as service:
+            assert service.wait_ready(timeout=30.0)
+            # Sequential distinct users on shard 0: every request is a cache
+            # miss, every flush adapts, every adaptation raises.
+            shard0 = [service.submit(u, k=5).result(30.0) for u in (0, 2, 4, 6, 8)]
+            shard1 = service.submit(1, k=5).result(30.0)
+
+            assert all(r.degraded for r in shard0)
+            assert all(len(r) == 5 for r in shard0)  # fallback still answers
+            assert not shard1.degraded
+
+            counters = _settled_counters(service, 6)
+            # 3 RPC failures open the breaker; the last 2 are rejected at
+            # admission and never reach the worker.
+            assert counters.get("serve.breaker.opened", 0) == 1
+            assert counters.get("serve.degraded.failure", 0) == 3
+            assert counters.get("serve.degraded.breaker", 0) == 2
+            assert counters.get("serve.breaker.rejected", 0) == 2
+            assert counters.get("serve.responses.degraded", 0) == 5
+            assert counters.get("serve.responses.ok", 0) == 1
+            # The worker's own registry reports what was injected.
+            assert counters.get("serve.faults.adapt_error", 0) == 3
+            assert counters.get("serve.faults.injected", 0) == 3
+
+            health = service.health()
+            assert health["status"] == "degraded"
+            assert health["fallback"] is True
+            by_shard = {entry["shard"]: entry for entry in health["shards"]}
+            assert by_shard[0]["breaker"] == "open"
+            assert by_shard[1]["breaker"] == "closed"
+
+    def test_fallback_disabled_surfaces_typed_errors(self, artifact):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="adapt_error", shard=0, count=0),), seed=1
+        )
+        cfg = ResilienceConfig(
+            deadline=20.0, retry_limit=0, failure_threshold=100, fallback=False
+        )
+        with ShardedService(
+            artifact, n_workers=1, max_wait_ms=1.0, resilience=cfg, fault_plan=plan
+        ) as service:
+            assert service.wait_ready(timeout=30.0)
+            future = service.submit(0, k=5)
+            with pytest.raises(RuntimeError, match="InjectedFault"):
+                future.result(timeout=30.0)
+            counters = _settled_counters(service, 1)
+            assert counters.get("serve.responses.error", 0) == 1
+            assert counters.get("serve.failed.failure", 0) == 1
+
+
+class TestDeadlines:
+    def test_slow_adaptation_degrades_within_the_deadline(self, artifact):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="adapt_delay", seconds=2.0, count=0),), seed=2
+        )
+        cfg = ResilienceConfig(
+            deadline=0.4, retry_limit=0, failure_threshold=100, fallback=True
+        )
+        with ShardedService(
+            artifact,
+            n_workers=1,
+            max_batch=8,
+            max_wait_ms=1.0,
+            resilience=cfg,
+            fault_plan=plan,
+        ) as service:
+            assert service.wait_ready(timeout=30.0)
+            t0 = time.monotonic()
+            futures = [service.submit(u, k=5) for u in (0, 1)]
+            results = [f.result(timeout=30.0) for f in futures]
+            elapsed = time.monotonic() - t0
+
+            # Answers arrived near the 0.4s budget, not the 2s worker stall.
+            assert elapsed < 1.8
+            assert all(r.degraded for r in results)
+            assert all(len(r) == 5 for r in results)
+            counters = _settled_counters(service, 2)
+            assert counters.get("serve.responses.degraded", 0) == 2
+            assert counters.get("serve.degraded.deadline", 0) == 2
+            assert counters.get("serve.deadline_exceeded", 0) == 2
+
+    def test_deadline_pressure_does_not_open_the_breaker(self, artifact):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="adapt_delay", seconds=1.0, count=0),), seed=2
+        )
+        cfg = ResilienceConfig(
+            deadline=0.3, retry_limit=0, failure_threshold=1, fallback=True
+        )
+        with ShardedService(
+            artifact, n_workers=1, max_wait_ms=1.0, resilience=cfg, fault_plan=plan
+        ) as service:
+            assert service.wait_ready(timeout=30.0)
+            result = service.submit(0, k=5).result(timeout=30.0)
+            assert result.degraded
+            # Let the stalled RPC round-trip: it must count as a breaker
+            # *success* (the worker answered; the deadline was ours).
+            time.sleep(1.5)
+            assert service.health()["shards"][0]["breaker"] == "closed"
+            assert _counters(service).get("serve.breaker.opened", 0) == 0
+
+
+class TestAdmissionControl:
+    def test_overflow_is_shed_to_the_fallback(self, artifact):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="rpc_delay", seconds=0.4, count=0),), seed=4
+        )
+        cfg = ResilienceConfig(
+            max_pending=1, retry_limit=0, failure_threshold=100, fallback=True
+        )
+        with ShardedService(
+            artifact,
+            n_workers=1,
+            max_batch=1,
+            max_wait_ms=0.5,
+            resilience=cfg,
+            fault_plan=plan,
+        ) as service:
+            assert service.wait_ready(timeout=30.0)
+            futures = [service.submit(u, k=5) for u in range(6)]
+            results = [f.result(timeout=30.0) for f in futures]
+
+            ok, degraded = _tally(results)
+            assert ok == 1 and degraded == 5
+            counters = _settled_counters(service, 6)
+            assert counters.get("serve.shed", 0) == 5
+            assert counters.get("serve.degraded.shed", 0) == 5
+            assert counters.get("serve.responses.ok", 0) == 1
+            assert counters.get("serve.responses.degraded", 0) == 5
+
+
+class TestStartupFailure:
+    def test_wait_ready_fails_fast_on_load_crash_loop(self, artifact):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="load_error", shard=0, count=0),), seed=5
+        )
+        service = ShardedService(
+            artifact, n_workers=2, heartbeat_interval=0.1, fault_plan=plan
+        )
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(RuntimeError, match="failed to start"):
+                service.wait_ready(timeout=30.0)
+            # Fail-fast, not a 30s hang: two load attempts at most.
+            assert time.monotonic() - t0 < 20.0
+            health = service.health()
+            assert health["status"] == "degraded"  # shard 1 still serves
+            by_shard = {entry["shard"]: entry for entry in health["shards"]}
+            assert "InjectedFault" in by_shard[0]["failed"]
+            assert by_shard[1]["failed"] is None
+            counters = service.metrics.snapshot().get("counters", {})
+            assert counters.get("serve.startup_failures", 0) >= 2
+        finally:
+            service.close()
+
+    def test_failed_shard_requests_degrade_not_hang(self, artifact):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="load_error", shard=0, count=0),), seed=5
+        )
+        cfg = ResilienceConfig(deadline=20.0, fallback=True, failure_threshold=100)
+        service = ShardedService(
+            artifact,
+            n_workers=2,
+            heartbeat_interval=0.1,
+            resilience=cfg,
+            fault_plan=plan,
+        )
+        try:
+            with pytest.raises(RuntimeError, match="failed to start"):
+                service.wait_ready(timeout=30.0)
+            # Shard 0 is permanently down; its users still get answers.
+            dead = service.submit(0, k=5).result(timeout=30.0)
+            live = service.submit(1, k=5).result(timeout=30.0)
+            assert dead.degraded and len(dead) == 5
+            assert not live.degraded
+            counters = _settled_counters(service, 2)
+            assert counters.get("serve.degraded.failure", 0) == 1
+        finally:
+            service.close()

@@ -175,6 +175,42 @@ class TestRunStoreDurability:
         loaded = store.load_cell(cell.key)
         assert loaded is not None and loaded.metrics.n_trials == 10
 
+    def test_failure_record_round_trips(self, tmp_path):
+        store = RunStore(tmp_path)
+        cell = self._cell()
+        store.record_failure(cell, "ValueError: boom", traceback_text="tb line")
+        payload = store.load_failure(cell.key)
+        assert payload is not None
+        assert payload["error"] == "ValueError: boom"
+        assert payload["traceback"] == "tb line"
+        assert payload["key"] == cell.key
+        assert store.failed_keys() == {cell.key}
+        # A failure record never makes the cell count as complete.
+        assert not store.is_complete(cell.key)
+
+    def test_successful_save_clears_the_failure(self, tmp_path):
+        store = RunStore(tmp_path)
+        cell = self._cell()
+        store.record_failure(cell, "transient crash")
+        store.save_cell(
+            cell, self._metrics(), [np.array([1.0]) for _ in range(3)]
+        )
+        assert store.load_failure(cell.key) is None
+        assert store.failed_keys() == set()
+        assert store.is_complete(cell.key)
+
+    def test_mismatched_or_corrupt_failure_not_trusted(self, tmp_path):
+        store = RunStore(tmp_path)
+        cell = self._cell()
+        store.record_failure(cell, "boom")
+        # Key mismatch (file renamed / copied between runs) is rejected.
+        assert store.load_failure("0" * 16) is None
+        (store.cells_dir / f"{cell.key}.error.json").write_text("{not json")
+        assert store.load_failure(cell.key) is None
+        store.clear_failure(cell.key)  # corrupt record still removable
+        store.clear_failure(cell.key)  # and clearing twice is a no-op
+        assert store.failed_keys() == set()
+
     def test_spec_binding_rejects_mismatch(self, tmp_path):
         store = RunStore(tmp_path)
         store.write_spec(tiny_spec())
@@ -221,6 +257,20 @@ class TestEngineResume:
         assert status.n_complete == 2 and len(status.missing) == 2
         with pytest.raises(IncompleteGridError):
             load_cells(tmp_path)
+        # The crash was persisted with its traceback on every missing cell,
+        # so `grid status` explains the failure without re-running.
+        assert len(status.failures) == 2
+        for cell, payload in status.failures:
+            assert cell.target == "NoSuchDomain"
+            assert payload["error"] == status.failures[0][1]["error"]
+            assert payload["traceback"]  # full traceback text rides along
+        rendered = status.format_table()
+        assert "FAILED Popularity on NoSuchDomain seed=0" in rendered
+        # Re-running after the cause is fixed clears the records.
+        store = RunStore(tmp_path)
+        assert store.failed_keys() == {
+            cell.key for cell, _ in status.failures
+        }
 
     def test_status_and_summary_render(self, tmp_path, bench_dataset):
         spec = tiny_spec()

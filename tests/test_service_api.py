@@ -560,3 +560,63 @@ class TestMicroBatcher:
         batcher.close()
         with pytest.raises(RuntimeError):
             batcher.submit(None, EvalInstance(0, 0, np.array([1])))
+
+    def test_shutdown_with_raising_scorer_resolves_pending(self):
+        # A flush callable that raises during shutdown must not deadlock
+        # close(): every pending future resolves with the error instead of
+        # waiting forever on a batch that can never succeed.
+        def broken(states, instances):
+            raise RuntimeError("artifact vanished")
+
+        batcher = MicroBatcher(broken, max_batch=64, max_wait_ms=5000.0)
+        futures = [
+            batcher.submit(None, EvalInstance(u, 0, np.array([1, 2])))
+            for u in range(3)
+        ]
+        batcher.close()  # returns promptly despite the raising scorer
+        for future in futures:
+            assert future.done()
+            with pytest.raises(RuntimeError, match="artifact vanished"):
+                future.result()
+
+    def test_deadline_caps_the_flush_window(self):
+        import time
+
+        # The window is 5s, but the request only has ~50ms of budget left:
+        # the batch must fire at the deadline, not at the window's end.
+        batcher = MicroBatcher(self._echo_scorer, max_batch=64, max_wait_ms=5000.0)
+        t0 = time.monotonic()
+        future = batcher.submit(
+            None,
+            EvalInstance(0, 0, np.array([1, 2])),
+            deadline=time.time() + 0.05,
+        )
+        np.testing.assert_array_equal(
+            future.result(timeout=5.0), [0.0, 1.0, 2.0]
+        )
+        assert time.monotonic() - t0 < 2.0
+        batcher.close()
+
+    def test_late_arrival_deadline_shrinks_an_open_window(self):
+        import time
+
+        # First request opens a 5s window; a second request with a tight
+        # deadline joins it and must pull the whole flush forward.
+        batcher = MicroBatcher(self._echo_scorer, max_batch=64, max_wait_ms=5000.0)
+        t0 = time.monotonic()
+        relaxed = batcher.submit(None, EvalInstance(0, 0, np.array([1, 2])))
+        time.sleep(0.05)  # let the worker open the window on the first
+        urgent = batcher.submit(
+            None,
+            EvalInstance(1, 0, np.array([1, 2])),
+            deadline=time.time() + 0.05,
+        )
+        np.testing.assert_array_equal(
+            urgent.result(timeout=5.0), [0.0, 1.0, 2.0]
+        )
+        np.testing.assert_array_equal(
+            relaxed.result(timeout=5.0), [0.0, 1.0, 2.0]
+        )
+        assert time.monotonic() - t0 < 2.0
+        assert batcher.n_batches == 1  # one coalesced flush, pulled forward
+        batcher.close()
