@@ -8,30 +8,23 @@ Relative to MetaDPA this is exactly "block 3 without blocks 1–2": same
 preference network, same MAML optimization, no augmented tasks.  Its
 vulnerability to meta-overfitting on sparse interactions is the phenomenon
 the paper's augmentation targets.
+
+The whole serving surface (adaptation, streaming refresh, frozen-tower
+scoring, artifact round-trip) comes from
+:class:`~repro.meta.serving.MAMLServingMixin`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.interface import FitContext, Recommender
-from repro.data.negative_sampling import EvalInstance
-from repro.data.tasks import PreferenceTask
-from repro.meta.corpus import PackedContent, PackedContentMixin, TaskCorpusBuilder
-from repro.meta.maml import (
-    MAML,
-    MAMLConfig,
-    adapt_task_states,
-    batched_candidate_scores,
-    stream_refresh,
-    subsample_support,
-)
+from repro.meta.corpus import PackedContent, TaskCorpusBuilder
+from repro.meta.maml import MAML, MAMLConfig, subsample_support
 from repro.meta.model import PreferenceModel, PreferenceModelConfig
-from repro.nn.module import Params
+from repro.meta.serving import MAMLServingMixin
 from repro.utils.rng import spawn_rngs
 
 
-class MeLU(PackedContentMixin, Recommender):
+class MeLU(MAMLServingMixin, Recommender):
     """MAML over the content preference model, decision-layer local updates."""
 
     name = "MeLU"
@@ -57,12 +50,14 @@ class MeLU(PackedContentMixin, Recommender):
         self._ctx: FitContext | None = None
         self._content: PackedContent | None = None
         self._stream_corpus = None
+        self._tables = None
         self.meta_loss_history: list[float] = []
 
     def fit(self, ctx: FitContext) -> "MeLU":
         self._ctx = ctx
         self._content = None
         self._stream_corpus = None
+        self._tables = None
         self.attach_serving(ctx)
         domain = ctx.domain
         maml_rng, _ = spawn_rngs(self.seed, 2)
@@ -77,7 +72,15 @@ class MeLU(PackedContentMixin, Recommender):
         self.meta_loss_history = self.maml.fit(builder.build(), epochs=self.meta_epochs)
         return self
 
-    # ------------------------------------------------------------------
+    # -- MAMLServingMixin hooks -----------------------------------------
+    @property
+    def _finetune_steps(self) -> int:
+        return self.finetune_steps
+
+    @property
+    def _maml_config(self) -> MAMLConfig:
+        return self.maml_config
+
     def _build_model(self, content_dim: int) -> PreferenceModel:
         return PreferenceModel(
             PreferenceModelConfig(
@@ -86,89 +89,3 @@ class MeLU(PackedContentMixin, Recommender):
                 hidden_dims=self.hidden_dims,
             )
         )
-
-    def adapt_user(self, task: PreferenceTask | None):
-        """Fine-tune the meta-initialization on the user's support set."""
-        if self.maml is None:
-            raise RuntimeError("fit() must be called before adapt_user()")
-        if task is None or task.n_support == 0 or self.finetune_steps == 0:
-            return None
-        return self.adapt_users([task])[0]
-
-    def adapt_users(self, tasks):
-        """Fine-tune a whole batch of users in one vectorized inner loop."""
-        if self.maml is None:
-            raise RuntimeError("fit() must be called before adapt_users()")
-        content = self._packed_content()
-        return adapt_task_states(
-            self.maml,
-            content.user,
-            content.item,
-            tasks,
-            self.finetune_steps,
-        )
-
-    def meta_refresh(self, tasks, meta_lr: float = 0.1, steps: int | None = None):
-        """Reptile-refresh the meta-initialization from observed tasks."""
-        if self.maml is None:
-            raise RuntimeError("fit() must be called before meta_refresh()")
-        self._stream_corpus, info = stream_refresh(
-            self.maml,
-            self._packed_content(),
-            tasks,
-            corpus=self._stream_corpus,
-            meta_lr=meta_lr,
-            steps=self.finetune_steps if steps is None else steps,
-        )
-        return info
-
-    def score_with_state(
-        self,
-        state,
-        instance: EvalInstance,
-        task: PreferenceTask | None = None,
-    ) -> np.ndarray:
-        if self.maml is None:
-            raise RuntimeError("fit() must be called before scoring")
-        content = self._packed_content()
-        params = state if state is not None else self.maml.params
-        candidates = instance.candidates
-        # (1, C) user row: the model embeds the user once and broadcasts
-        # the embedding across the candidates (see _broadcast_user).
-        return self.maml.predict(
-            content.user[instance.user_row][None, :],
-            content.item[candidates],
-            params=params,
-        )
-
-    def score_with_state_batch(self, states, instances) -> list[np.ndarray]:
-        if self.maml is None:
-            raise RuntimeError("fit() must be called before scoring")
-        content = self._packed_content()
-        return batched_candidate_scores(
-            self.maml, content.user, content.item, states, instances
-        )
-
-    def score(
-        self, task: PreferenceTask | None, instance: EvalInstance
-    ) -> np.ndarray:
-        return self.score_with_state(self.adapt_user(task), instance)
-
-    def score_batch(self, tasks, instances) -> list[np.ndarray]:
-        """Adapt every evaluated user in one batched inner loop, then score."""
-        if len(tasks) != len(instances):
-            raise ValueError("tasks and instances must align")
-        return self.score_with_state_batch(self.adapt_users(tasks), instances)
-
-    # ------------------------------------------------------------------
-    def state_dict(self) -> Params:
-        if self.maml is None:
-            raise RuntimeError("fit() must be called before state_dict()")
-        return dict(self.maml.params)
-
-    def load_state_dict(self, state: Params) -> None:
-        model = self._build_model(self.serving.user_content.shape[1])
-        self.maml = MAML(model, self.maml_config, seed=self.seed)
-        self.maml.params = {
-            name: np.asarray(value) for name, value in state.items()
-        }

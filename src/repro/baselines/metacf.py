@@ -29,6 +29,7 @@ from repro.nn.losses import binary_cross_entropy
 from repro.nn.module import Grads, Params, mlp
 from repro.nn.optim import Adam, add_grads, clip_grad_norm
 from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.topk import top_k_order
 
 
 class MetaCF(Recommender):
@@ -124,7 +125,12 @@ class MetaCF(Recommender):
             return positives
         scores = self._cooc[positives].sum(axis=0)
         scores[positives] = -np.inf
-        extra = np.argsort(scores)[::-1][: self.n_potential]
+        # Descending *stable* order: co-occurrence counts tie constantly,
+        # and ``np.argsort(scores)[::-1]`` reverses equal-score runs into
+        # descending-index order — which made the selected potential
+        # neighbours depend on how the unstable tail happened to land.
+        # ``top_k_order`` ranks ties by ascending index, deterministically.
+        extra = top_k_order(scores, self.n_potential)
         extra = extra[np.isfinite(scores[extra]) & (scores[extra] > 0)]
         return np.concatenate([positives, extra]).astype(int)
 

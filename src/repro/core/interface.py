@@ -23,12 +23,17 @@ from repro.data.negative_sampling import EvalInstance
 from repro.data.splits import ColdStartSplits
 from repro.data.tasks import PreferenceTask, TaskSet
 from repro.nn.module import Params
+from repro.utils.topk import top_k_order
 
 #: Artifact layout version written by :meth:`Recommender.save`.
-ARTIFACT_FORMAT = 1
+#: Format 2 adds the ``serving.table.*`` members — precomputed frozen-tower
+#: embedding tables (see :mod:`repro.meta.serving`).  Format-1 artifacts
+#: stay loadable: absent tables are recomputed once at load time.
+ARTIFACT_FORMAT = 2
 
 _STATE_PREFIX = "state."
 _SERVING_PREFIX = "serving."
+_TABLE_PREFIX = "serving.table."
 
 
 @dataclass
@@ -311,7 +316,7 @@ class Recommender(abc.ABC):
             user_row=int(user_row), pos_item=int(pool[0]), neg_items=pool[1:]
         )
         scores = np.asarray(self.score_batch([task], [instance])[0], dtype=float)
-        order = np.argsort(-scores, kind="stable")[:k]
+        order = top_k_order(scores, k)
         return Recommendation(int(user_row), pool[order], scores[order])
 
     # -- persistence ----------------------------------------------------
@@ -330,6 +335,24 @@ class Recommender(abc.ABC):
     def supports_serialization(self) -> bool:
         """Whether this method implements ``state_dict``/``load_state_dict``."""
         return type(self).state_dict is not Recommender.state_dict
+
+    def serving_tables(self) -> dict[str, np.ndarray]:
+        """Precomputed serving tables to bake into the artifact.
+
+        Methods with user-invariant submodels (the frozen embedding towers
+        of MAML-based methods, see :mod:`repro.meta.serving`) override this
+        to persist their precompute; the default has none.  Keys are
+        namespaced under ``serving.table.`` in the archive.
+        """
+        return {}
+
+    def attach_serving_tables(self, tables: dict[str, np.ndarray]) -> None:
+        """Adopt artifact-baked serving tables after ``load_state_dict``.
+
+        Called on every load with whatever ``serving.table.`` members the
+        artifact holds (possibly none, for format-1 artifacts).  The
+        default ignores them.
+        """
 
     def config_dict(self) -> dict:
         """JSON-able constructor config, written into saved artifacts.
@@ -386,6 +409,13 @@ class Recommender(abc.ABC):
         payload[f"{_SERVING_PREFIX}popularity"] = serving.seen.sum(
             axis=0, dtype=np.float32
         )
+        # Frozen-tower precompute (format 2): baked float32 C-contiguous so
+        # a memory-mapped load serves gathers straight off one page-cache
+        # copy shared by every shard worker.
+        for name, table in self.serving_tables().items():
+            payload[f"{_TABLE_PREFIX}{name}"] = np.ascontiguousarray(
+                table, dtype=np.float32
+            )
         header = {
             "format": ARTIFACT_FORMAT,
             "method": self.registry_name(),
@@ -431,4 +461,13 @@ class Recommender(abc.ABC):
             if name.startswith(_STATE_PREFIX)
         }
         method.load_state_dict(state)
+        # Format-2 artifacts carry baked serving tables; older artifacts
+        # pass an empty mapping and the method recomputes on first use.
+        method.attach_serving_tables(
+            {
+                name[len(_TABLE_PREFIX):]: value
+                for name, value in arrays.items()
+                if name.startswith(_TABLE_PREFIX)
+            }
+        )
         return method

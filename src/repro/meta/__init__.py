@@ -17,6 +17,11 @@ from repro.meta.corpus import (
 )
 from repro.meta.model import PreferenceModel, PreferenceModelConfig
 from repro.meta.maml import MAML, MAMLConfig
+from repro.meta.serving import (
+    FrozenTowerTables,
+    MAMLServingMixin,
+    build_frozen_tower_tables,
+)
 from repro.meta.trainer import MetaDPA, MetaDPAConfig
 
 __all__ = [
@@ -31,4 +36,7 @@ __all__ = [
     "TaskCorpus",
     "TaskCorpusBuilder",
     "pack_content",
+    "FrozenTowerTables",
+    "MAMLServingMixin",
+    "build_frozen_tower_tables",
 ]

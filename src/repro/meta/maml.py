@@ -648,6 +648,7 @@ def batched_candidate_scores(
     item_content: np.ndarray,
     states: Sequence[Params | None],
     instances: Sequence,
+    tables=None,
 ) -> list[np.ndarray]:
     """Score many eval instances in as few forwards as possible.
 
@@ -662,6 +663,14 @@ def batched_candidate_scores(
     user.  This is the vectorized backend of ``score_with_state_batch``
     for MAML-based methods.
 
+    ``tables`` (a :class:`~repro.meta.serving.FrozenTowerTables`) replaces
+    the tower GEMMs with row gathers for every group whose parameter dict
+    still aliases the tower arrays the tables were baked from: the item
+    side always, the user side additionally requiring an un-adapted user
+    tower.  Groups that adapted a tower — and any single-row forward,
+    whose GEMV kernel is not row-subset stable — take the exact historical
+    path, so results are bitwise identical with or without tables.
+
     The data path is index-based: per group only int index arrays (user
     row per candidate row, candidate item ids) are concatenated/padded and
     the content rows are gathered in one fancy-indexing pass per forward —
@@ -674,6 +683,10 @@ def batched_candidate_scores(
     for idx, params in enumerate(resolved):
         groups.setdefault(id(params), []).append(idx)
     results: list[np.ndarray | None] = [None] * len(instances)
+    if tables is not None and not (
+        tables.item_current(maml.params) and tables.user_current(maml.params)
+    ):
+        tables = None  # stale bake: never serve from it
 
     def group_indices(indices: list[int]) -> tuple[np.ndarray, np.ndarray, list[int]]:
         sizes = [instances[i].candidates.size for i in indices]
@@ -689,9 +702,19 @@ def batched_candidate_scores(
 
     def score_solo(indices: list[int]) -> None:
         rows, cols, sizes = group_indices(indices)
-        preds = maml.predict(
-            user_content[rows], item_content[cols], params=resolved[indices[0]]
-        )
+        params = resolved[indices[0]]
+        if tables is not None and cols.size >= 2 and tables.item_current(params):
+            # Item rows gather from the baked table; the user side gathers
+            # too when its tower is un-adapted, else embeds live (the same
+            # multi-row GEMM the full path runs — identical either way).
+            user_embeds = (
+                tables.user[rows] if tables.user_current(params) else None
+            )
+            preds = maml.model.forward_from_item_embeddings(
+                params, user_content[rows], tables.item[cols], user_embeds
+            )
+        else:
+            preds = maml.predict(user_content[rows], item_content[cols], params=params)
         scatter(indices, sizes, preds)
 
     group_list = list(groups.values())
@@ -717,19 +740,58 @@ def batched_candidate_scores(
     if len(stackable) == 1:
         score_solo(stackable[0])
         return results  # type: ignore[return-value]
-    gathered = [group_indices(indices) for indices in stackable]
-    width = max(rows.size for rows, _, _ in gathered)
-    # Padded positions point at row/item 0 — valid content, masked out by
-    # the scatter reading only each group's real span.
-    row_idx = np.zeros((len(stackable), width), dtype=np.int64)
-    col_idx = np.zeros((len(stackable), width), dtype=np.int64)
-    for g, (rows, cols, _) in enumerate(gathered):
-        row_idx[g, : rows.size] = rows
-        col_idx[g, : cols.size] = cols
-    stacked = stack_params([resolved[indices[0]] for indices in stackable])
-    preds = maml.predict(user_content[row_idx], item_content[col_idx], params=stacked)
-    for g, indices in enumerate(stackable):
-        scatter(indices, gathered[g][2], preds[g])
+
+    def score_stacked(group_set: list[list[int]], fast: bool) -> None:
+        if not group_set:
+            return
+        if len(group_set) == 1:
+            score_solo(group_set[0])
+            return
+        gathered = [group_indices(indices) for indices in group_set]
+        width = max(rows.size for rows, _, _ in gathered)
+        # Padded positions point at row/item 0 — valid content, masked out
+        # by the scatter reading only each group's real span.
+        row_idx = np.zeros((len(group_set), width), dtype=np.int64)
+        col_idx = np.zeros((len(group_set), width), dtype=np.int64)
+        for g, (rows, cols, _) in enumerate(gathered):
+            row_idx[g, : rows.size] = rows
+            col_idx[g, : cols.size] = cols
+        if fast and width >= 2:
+            # Both towers frozen for every group: gather (G, W, E) slabs
+            # from the tables and stack only the per-group MLP heads.
+            head = stack_params(
+                [
+                    {
+                        k: v
+                        for k, v in resolved[indices[0]].items()
+                        if k.startswith("mlp.")
+                    }
+                    for indices in group_set
+                ]
+            )
+            preds = maml.model.forward_from_item_embeddings(
+                head, None, tables.item[col_idx], tables.user[row_idx]
+            )
+        else:
+            stacked = stack_params([resolved[indices[0]] for indices in group_set])
+            preds = maml.predict(
+                user_content[row_idx], item_content[col_idx], params=stacked
+            )
+        for g, indices in enumerate(group_set):
+            scatter(indices, gathered[g][2], preds[g])
+
+    def fully_frozen(indices: list[int]) -> bool:
+        params = resolved[indices[0]]
+        return (
+            tables is not None
+            and tables.item_current(params)
+            and tables.user_current(params)
+        )
+
+    fast_groups = [g for g in stackable if fully_frozen(g)]
+    slow_groups = [g for g in stackable if not fully_frozen(g)]
+    score_stacked(slow_groups, False)
+    score_stacked(fast_groups, True)
     return results  # type: ignore[return-value]
 
 

@@ -41,6 +41,7 @@ from repro.data.tasks import PreferenceTask, append_interaction, task_fingerprin
 from repro.obs import MetricsRegistry
 from repro.service.batching import MicroBatcher
 from repro.service.cache import LRUCache
+from repro.utils.topk import top_k_order
 
 _MISS = object()
 
@@ -444,6 +445,7 @@ class RecommenderService:
         instance = EvalInstance(
             user_row=int(user_row), pos_item=int(pool[0]), neg_items=pool[1:]
         )
+        self.metrics.observe("serve.score.candidates", pool.size)
         if self._batcher is not None:
             # Defer cache-missed adaptation into the flush so concurrent
             # cold-start users are fine-tuned together by adapt_users.
@@ -457,7 +459,7 @@ class RecommenderService:
             with self.metrics.span("serve.score", size=1):
                 scores = self.method.score_with_state(adapted, instance)
         scores = np.asarray(scores, dtype=float)
-        order = np.argsort(-scores, kind="stable")[:k]
+        order = top_k_order(scores, k)
         return Recommendation(int(user_row), pool[order], scores[order])
 
     def recommend_batch(
@@ -543,6 +545,10 @@ class RecommenderService:
         results: list[Recommendation | DeadlineSkipped] = []
         empty = np.array([], dtype=int)
         n_skipped = sum(expired)
+        self.metrics.observe_many(
+            "serve.score.candidates",
+            [pool.size for pool, skip in zip(pools, expired) if not skip],
+        )
         with self.metrics.span("serve.score", size=len(requests)):
             for request, pool, (kind, value) in zip(requests, pools, plan):
                 user = int(request.user_row)
@@ -568,7 +574,7 @@ class RecommenderService:
                 scores = np.asarray(
                     self.method.score_with_state(state, instance), dtype=float
                 )
-                order = np.argsort(-scores, kind="stable")[: request.k]
+                order = top_k_order(scores, request.k)
                 results.append(Recommendation(user, pool[order], scores[order]))
         if n_skipped:
             self.metrics.inc("serve.deadline_skipped", n_skipped)
@@ -609,6 +615,9 @@ class RecommenderService:
         """
         states = self._states_for([int(inst.user_row) for inst in instances])
         self.metrics.inc("serve.requests", len(instances))
+        self.metrics.observe_many(
+            "serve.score.candidates", [inst.candidates.size for inst in instances]
+        )
         with self.metrics.span("serve.score", size=len(instances)):
             return self.method.score_with_state_batch(states, instances)
 
@@ -636,6 +645,9 @@ class RecommenderService:
             for i in kept
         ]
         self.metrics.inc("serve.requests", len(user_rows))
+        self.metrics.observe_many(
+            "serve.score.candidates", [pools[i].size for i in kept]
+        )
         with self.metrics.span("serve.score", size=len(instances)):
             score_lists = self.method.score_with_state_batch(
                 [states[i] for i in kept], instances
@@ -647,7 +659,7 @@ class RecommenderService:
         ]
         for i, scores in zip(kept, score_lists):
             scores = np.asarray(scores, dtype=float)
-            order = np.argsort(-scores, kind="stable")[:k]
+            order = top_k_order(scores, k)
             results[i] = Recommendation(
                 int(user_rows[i]), pools[i][order], scores[order]
             )

@@ -3,5 +3,6 @@
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.timing import Timer
 from repro.utils.batching import iter_batches
+from repro.utils.topk import top_k_order
 
-__all__ = ["ensure_rng", "spawn_rngs", "Timer", "iter_batches"]
+__all__ = ["ensure_rng", "spawn_rngs", "Timer", "iter_batches", "top_k_order"]

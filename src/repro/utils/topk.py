@@ -1,0 +1,53 @@
+"""Exact top-k selection matching ``np.argsort(-scores, kind="stable")[:k]``.
+
+Serving ranks a k-sized head of an ``n``-sized candidate pool, so a full
+``O(n log n)`` stable sort wastes almost all of its work.  ``top_k_order``
+selects the k winners with ``np.partition`` (``O(n)``) and only sorts those
+k, while reproducing the full stable sort's order *bit for bit* — including
+its tie-breaking (equal scores rank by ascending index) — so swapping it
+into an existing ranking site cannot change a single recommendation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_k_order"]
+
+
+def _full_order(scores: np.ndarray, k: int) -> np.ndarray:
+    return np.argsort(-scores, kind="stable")[:k]
+
+
+def top_k_order(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores in descending stable order.
+
+    Exactly equivalent to ``np.argsort(-scores, kind="stable")[:k]`` for
+    every 1-D ``scores`` (ties broken by ascending index, NaNs ranked
+    last), but selects with ``np.partition`` first so only ``k`` elements
+    are sorted.  Falls back to the full stable sort when ``k`` covers the
+    pool or NaNs make the partition threshold unusable.
+    """
+    scores = np.asarray(scores)
+    if scores.ndim != 1:
+        raise ValueError("top_k_order expects a 1-D score vector")
+    n = scores.size
+    if k <= 0:
+        return np.empty(0, dtype=np.intp)
+    if k >= n:
+        return _full_order(scores, k)
+    kth = np.partition(scores, n - k)[n - k]
+    if np.isnan(kth):
+        return _full_order(scores, k)
+    above = np.flatnonzero(scores > kth)
+    if above.size >= k:
+        # Only reachable when NaNs shifted the partition threshold.
+        return _full_order(scores, k)
+    # Equal scores rank by ascending index, so the first ``k - above.size``
+    # ties are exactly the ones the stable sort would keep.
+    ties = np.flatnonzero(scores == kth)[: k - above.size]
+    chosen = np.concatenate([above, ties])
+    if chosen.size < k:
+        # NaNs displaced real values out of the partition's top-k window.
+        return _full_order(scores, k)
+    return chosen[np.argsort(-scores[chosen], kind="stable")]

@@ -1,0 +1,301 @@
+"""Frozen-tower precompute: fast-path scoring must be bitwise-faithful.
+
+The serving tables (:mod:`repro.meta.serving`) replace the item/user tower
+GEMMs with row gathers whenever the per-user fast weights provably alias
+the tower arrays the tables were baked from.  Everything here pins the
+*exactness* contract: fast == full forward bit for bit for decision-only
+adaptation, unadapted users and mixed batches; full-adaptation states fall
+back; ``meta_refresh`` invalidates tables only when it actually rewrote a
+tower; format-2 artifacts round-trip (and format-1 artifacts still load);
+and a memory-mapped load materializes no table copy.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interface import ARTIFACT_FORMAT, Recommender
+from repro.data.negative_sampling import EvalInstance
+from repro.data.splits import Scenario
+from repro.meta.maml import batched_candidate_scores
+from repro.meta.serving import build_frozen_tower_tables
+from repro.registry import build_method
+from repro.service import RecommenderService
+
+
+@pytest.fixture(scope="module")
+def fitted_melu(bench_experiment):
+    """Decision-only adaptation: tower weights stay aliased in fast states."""
+    method = build_method({"name": "MeLU", "meta_epochs": 1}, seed=0)
+    return method.fit(bench_experiment.ctx)
+
+
+@pytest.fixture(scope="module")
+def fitted_full_adapt(bench_experiment):
+    """Full-adaptation MetaDPA: fast states rewrite the towers."""
+    method = build_method(
+        {"name": "MetaDPA", "use_augmentation": False, "meta_epochs": 1},
+        seed=0,
+    )
+    return method.fit(bench_experiment.ctx)
+
+
+@pytest.fixture(scope="module")
+def cold_tasks(bench_experiment):
+    return list(bench_experiment.task_sets[Scenario.C_U])
+
+
+def full_batch(method, states, instances):
+    """The historical batched scoring path: no tables involved."""
+    content = method._packed_content()
+    return batched_candidate_scores(
+        method.maml, content.user, content.item, states, instances
+    )
+
+
+def full_solo(method, state, instance):
+    """The historical single-instance path ``score_with_state`` replaced.
+
+    Note this is *not* the batched path restricted to one instance: the
+    batched kernel feeds repeated ``(m, C)`` user rows where the solo path
+    feeds ``(1, C)`` — a GEMM-vs-GEMV difference that flips last-ulp bits.
+    Each fast entry point must match the specific path it replaced.
+    """
+    content = method._packed_content()
+    params = state if state is not None else method.maml.params
+    return method.maml.predict(
+        content.user[instance.user_row][None, :],
+        content.item[instance.candidates],
+        params=params,
+    )
+
+
+def make_instance(rng, n_users, n_items, n_candidates):
+    user = int(rng.integers(0, n_users))
+    cands = rng.choice(n_items, size=n_candidates, replace=False)
+    return EvalInstance(
+        user_row=user, pos_item=int(cands[0]), neg_items=np.asarray(cands[1:])
+    )
+
+
+class TestFastPathBitwise:
+    def test_unadapted_solo_matches_full(self, fitted_melu):
+        method = fitted_melu
+        rng = np.random.default_rng(0)
+        serving = method.serving
+        for n_cands in (2, 3, 17, serving.n_items):
+            inst = make_instance(rng, serving.n_users, serving.n_items, n_cands)
+            fast = method.score_with_state(None, inst)
+            full = full_solo(method, None, inst)
+            assert np.array_equal(fast, full)
+
+    def test_adapted_solo_matches_full(self, fitted_melu, cold_tasks):
+        method = fitted_melu
+        rng = np.random.default_rng(1)
+        serving = method.serving
+        states = method.adapt_users(cold_tasks[:3])
+        for state in states:
+            inst = make_instance(rng, serving.n_users, serving.n_items, 50)
+            fast = method.score_with_state(state, inst)
+            full = full_solo(method, state, inst)
+            assert np.array_equal(fast, full)
+
+    def test_single_candidate_uses_full_forward(self, fitted_melu):
+        method = fitted_melu
+        inst = EvalInstance(user_row=0, pos_item=3, neg_items=np.array([], dtype=int))
+        fast = method.score_with_state(None, inst)
+        full = full_solo(method, None, inst)
+        assert np.array_equal(fast, full)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_mixed_batches_match_full_bitwise(
+        self, fitted_melu, cold_tasks, data
+    ):
+        """Batched fast scoring == the historical stacked path, bit for bit.
+
+        Batches mix unadapted users (shared meta-params group), several
+        distinct adapted users, duplicated states, and candidate lists of
+        varying sizes (including single-candidate instances).
+        """
+        method = fitted_melu
+        serving = method.serving
+        seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+        rng = np.random.default_rng(seed)
+        adapted = method.adapt_users(cold_tasks[:4])
+        n = data.draw(st.integers(min_value=1, max_value=10))
+        states = []
+        instances = []
+        for _ in range(n):
+            choice = rng.integers(0, len(adapted) + 1)
+            states.append(None if choice == len(adapted) else adapted[choice])
+            n_cands = int(rng.integers(1, 40))
+            instances.append(
+                make_instance(rng, serving.n_users, serving.n_items, n_cands)
+            )
+        fast = method.score_with_state_batch(states, instances)
+        full = full_batch(method, states, instances)
+        for f, g in zip(fast, full):
+            assert np.array_equal(f, g)
+
+
+class TestFallbackAndInvalidation:
+    def test_full_adaptation_states_fall_back(self, fitted_full_adapt, cold_tasks):
+        method = fitted_full_adapt
+        rng = np.random.default_rng(2)
+        serving = method.serving
+        states = method.adapt_users(cold_tasks[:2])
+        tables = method._scoring_tables()
+        for state in states:
+            assert state is not None
+            # Full adaptation rewrote the towers: not fast-path eligible.
+            assert not tables.item_current(state)
+            inst = make_instance(rng, serving.n_users, serving.n_items, 30)
+            fast = method.score_with_state(state, inst)
+            full = full_solo(method, state, inst)
+            assert np.array_equal(fast, full)
+        batch_insts = [
+            make_instance(rng, serving.n_users, serving.n_items, 25)
+            for _ in range(len(states) + 1)
+        ]
+        batch_states = [*states, None]
+        fast = method.score_with_state_batch(batch_states, batch_insts)
+        full = full_batch(method, batch_states, batch_insts)
+        for f, g in zip(fast, full):
+            assert np.array_equal(f, g)
+
+    def test_meta_refresh_invalidates_when_towers_move(
+        self, fitted_full_adapt, cold_tasks
+    ):
+        method = fitted_full_adapt
+        before = method._scoring_tables()
+        method.meta_refresh(cold_tasks[:2], meta_lr=0.05)
+        # Full adaptation: refresh rewrote the tower arrays, tables dropped.
+        assert method._tables is None
+        after = method._scoring_tables()
+        assert after is not before
+        assert after.item_current(method.maml.params)
+        rng = np.random.default_rng(3)
+        serving = method.serving
+        inst = make_instance(rng, serving.n_users, serving.n_items, 40)
+        fast = method.score_with_state(None, inst)
+        full = full_solo(method, None, inst)
+        assert np.array_equal(fast, full)
+
+    def test_meta_refresh_keeps_tables_when_towers_frozen(
+        self, fitted_melu, cold_tasks
+    ):
+        method = fitted_melu
+        before = method._scoring_tables()
+        method.meta_refresh(cold_tasks[:2], meta_lr=0.05)
+        # Decision-only refresh moves only mlp.* keys: the bake is intact.
+        assert method._scoring_tables() is before
+
+    def test_stale_tables_never_served(self, fitted_melu):
+        """A tables object baked from older meta-params must be ignored."""
+        method = fitted_melu
+        content = method._packed_content()
+        stale = build_frozen_tower_tables(method.maml, content)
+        # Simulate a tower rewrite after the bake.
+        key = next(k for k in method.maml.params if k.startswith("item_embed."))
+        old = method.maml.params[key]
+        method.maml.params[key] = old.copy()
+        try:
+            rng = np.random.default_rng(4)
+            serving = method.serving
+            inst = make_instance(rng, serving.n_users, serving.n_items, 10)
+            got = batched_candidate_scores(
+                method.maml,
+                content.user,
+                content.item,
+                [None],
+                [inst],
+                tables=stale,
+            )[0]
+            expected = full_batch(method, [None], [inst])[0]
+            assert np.array_equal(got, expected)
+        finally:
+            method.maml.params[key] = old
+            method._tables = None
+
+
+class TestArtifactTables:
+    def test_format_2_artifact_bakes_tables(self, fitted_melu, tmp_path):
+        path = fitted_melu.save(tmp_path / "melu.npz")
+        with zipfile.ZipFile(path) as zf:
+            names = set(zf.namelist())
+            header = json.loads(
+                np.load(zf.open("__config_json__.npy")).tobytes().decode()
+            )
+        assert ARTIFACT_FORMAT == 2
+        assert header["format"] == 2
+        assert "serving.table.item_embeddings.npy" in names
+        assert "serving.table.user_embeddings.npy" in names
+
+    def test_mmap_load_shares_tables_without_copy(self, fitted_melu, tmp_path):
+        path = fitted_melu.save(tmp_path / "melu.npz")
+        loaded = Recommender.load(path, mmap_mode="r")
+        # Worker startup must not materialize the bake: the attached
+        # tables are memmap views straight into the artifact.
+        assert isinstance(loaded._tables.item, np.memmap)
+        assert isinstance(loaded._tables.user, np.memmap)
+        first = fitted_melu.recommend(0, k=10)
+        second = loaded.recommend(0, k=10)
+        assert np.array_equal(first.items, second.items)
+        assert np.array_equal(first.scores, second.scores)
+
+    def test_format_1_artifact_still_loads(self, fitted_melu, tmp_path):
+        """Stripping the table members reproduces a pre-format-2 artifact."""
+        from repro.nn.serialization import load_params, save_params
+
+        path = fitted_melu.save(tmp_path / "melu.npz")
+        arrays, header = load_params(path)
+        stripped = {
+            name: np.asarray(value)
+            for name, value in arrays.items()
+            if not name.startswith("serving.table.")
+        }
+        header["format"] = 1
+        old_path = save_params(tmp_path / "melu_v1.npz", stripped, config=header)
+        loaded = Recommender.load(old_path, mmap_mode="r")
+        assert loaded._tables is None  # nothing baked at load time
+        first = fitted_melu.recommend(1, k=10)
+        second = loaded.recommend(1, k=10)
+        assert np.array_equal(first.items, second.items)
+        assert np.array_equal(first.scores, second.scores)
+        assert loaded._tables is not None  # computed once, on first use
+
+
+class TestServiceIntegration:
+    def test_candidates_histogram_recorded(self, fitted_melu):
+        service = RecommenderService(fitted_melu, cache_size=4)
+        service.recommend(0, k=5)
+        service.recommend_many([1, 2, 3], k=5)
+        snap = service.metrics.snapshot()
+        hist = snap["histograms"].get("serve.score.candidates")
+        assert hist is not None
+        assert hist["count"] == 4
+
+    def test_service_results_unchanged_by_tables(self, fitted_melu, cold_tasks):
+        """End-to-end: served rankings equal the table-free scoring path."""
+        service = RecommenderService(fitted_melu, cache_size=8)
+        task = cold_tasks[0]
+        service.register_user_history(task)
+        rec = service.recommend(task.user_row, k=10)
+        pool = service._candidates_for(task.user_row, True)
+        state = fitted_melu.adapt_users([task])[0]
+        inst = EvalInstance(
+            user_row=task.user_row,
+            pos_item=int(pool[0]),
+            neg_items=pool[1:],
+        )
+        scores = np.asarray(full_solo(fitted_melu, state, inst), float)
+        order = np.argsort(-scores, kind="stable")[:10]
+        assert np.array_equal(rec.items, pool[order])
+        assert np.array_equal(rec.scores, scores[order])

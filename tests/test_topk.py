@@ -1,0 +1,120 @@
+"""``top_k_order`` must reproduce the full stable sort bit for bit.
+
+The serving sites it replaced ranked with
+``np.argsort(-scores, kind="stable")[:k]``; the partition-based selection
+is only admissible because it returns the *exact* same index order —
+including tie-breaking by ascending index and NaNs ranked last — for every
+input.  These tests pin that equivalence on the adversarial shapes
+(heavy ties, infinities, NaNs, degenerate k) plus a hypothesis sweep, and
+pin the MetaCF potential-neighbour fix that rides on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.metacf import MetaCF
+from repro.utils.topk import top_k_order
+
+
+def reference(scores: np.ndarray, k: int) -> np.ndarray:
+    return np.argsort(-scores, kind="stable")[:k]
+
+
+def assert_matches(scores, k) -> None:
+    scores = np.asarray(scores)
+    got = top_k_order(scores, k)
+    expected = reference(scores, k)
+    assert got.dtype.kind == expected.dtype.kind == "i"
+    assert np.array_equal(got, expected), (scores, k, got, expected)
+
+
+class TestTopKOrder:
+    def test_random_vectors(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 2, 5, 100, 1000):
+            for k in (1, 2, 3, n // 2, n - 1, n, n + 5):
+                if k <= 0:
+                    continue
+                assert_matches(rng.standard_normal(n), k)
+
+    def test_heavily_tied(self):
+        rng = np.random.default_rng(1)
+        for n in (10, 100, 1000):
+            # Integer-valued scores from a tiny alphabet: nearly every
+            # element ties, the regime where the unstable reversal breaks.
+            scores = rng.integers(0, 4, size=n).astype(float)
+            for k in (1, 3, n // 2, n):
+                assert_matches(scores, k)
+
+    def test_all_equal(self):
+        scores = np.full(50, 3.25)
+        for k in (1, 10, 50):
+            assert np.array_equal(top_k_order(scores, k), np.arange(k))
+
+    def test_float32_scores(self):
+        rng = np.random.default_rng(2)
+        scores = rng.integers(0, 5, size=200).astype(np.float32)
+        assert_matches(scores, 17)
+
+    def test_infinities(self):
+        scores = np.array([1.0, -np.inf, np.inf, 0.0, np.inf, -np.inf])
+        for k in range(1, 7):
+            assert_matches(scores, k)
+
+    def test_nans_rank_last(self):
+        scores = np.array([0.5, np.nan, 2.0, np.nan, 1.0, -1.0])
+        for k in range(1, 7):
+            assert_matches(scores, k)
+
+    def test_all_nan(self):
+        assert_matches(np.full(5, np.nan), 3)
+
+    def test_k_degenerate(self):
+        scores = np.array([2.0, 1.0, 3.0])
+        assert top_k_order(scores, 0).size == 0
+        assert_matches(scores, len(scores) + 10)
+        assert top_k_order(np.array([]), 3).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            top_k_order(np.zeros((3, 3)), 2)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        scores=st.lists(
+            st.one_of(
+                st.integers(min_value=-3, max_value=3).map(float),
+                st.floats(allow_nan=True, allow_infinity=True, width=32),
+            ),
+            min_size=1,
+            max_size=64,
+        ),
+        k=st.integers(min_value=1, max_value=80),
+    )
+    def test_hypothesis_matches_stable_argsort(self, scores, k):
+        assert_matches(np.array(scores), k)
+
+
+class TestMetaCFTieBreak:
+    def test_potential_neighbours_tie_break_deterministically(self):
+        """Equal co-occurrence counts must select ascending item ids."""
+        method = MetaCF(n_potential=3)
+        n_items = 8
+        # Symmetric count matrix where every non-profile item co-occurs
+        # with item 0 equally often: the selection is pure tie-break.
+        cooc = np.ones((n_items, n_items), dtype=np.float64)
+        method._cooc = cooc
+        profile = method._extend_profile(np.array([0]))
+        assert np.array_equal(profile, [0, 1, 2, 3])
+
+    def test_potential_neighbours_prefer_higher_counts(self):
+        method = MetaCF(n_potential=2)
+        cooc = np.ones((6, 6))
+        cooc[:, 4] = 5.0  # item 4 co-occurs most
+        method._cooc = cooc
+        profile = method._extend_profile(np.array([2]))
+        assert np.array_equal(profile, [2, 4, 0])
